@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures from
+// the simulator, printing each as an aligned text table.
+//
+// Examples:
+//
+//	experiments                     # regenerate everything
+//	experiments -exp fig1a          # one artifact
+//	experiments -exp fig3 -measure 300000 -warmup 120000
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dwarn/internal/exp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(exp.Experiments, ", "))
+		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+		warmup  = flag.Int64("warmup", 0, "warmup cycles per run (0 = default)")
+		measure = flag.Int64("measure", 0, "measured cycles per run (0 = default)")
+		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	r := exp.NewRunner(exp.Config{
+		Seed:          *seed,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		Parallelism:   *par,
+	})
+
+	ids := exp.Experiments
+	if *expID != "all" {
+		ids = strings.Split(*expID, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := r.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,116 @@
+// Command smtsim runs one SMT simulation — machine × fetch policy ×
+// workload — and prints per-thread and aggregate statistics.
+//
+// Examples:
+//
+//	smtsim -policy dwarn -workload 4-MIX
+//	smtsim -policy flush -workload 8-MEM -machine deep -measure 300000
+//	smtsim -solo mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dwarn/internal/config"
+	"dwarn/internal/core"
+	"dwarn/internal/sim"
+	"dwarn/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "dwarn", "fetch policy: "+strings.Join(core.Policies(), ", "))
+		wlName   = flag.String("workload", "4-MIX", "Table 2(b) workload name")
+		solo     = flag.String("solo", "", "run one benchmark alone instead of a workload")
+		machine  = flag.String("machine", "baseline", "machine: baseline, small, deep")
+		seed     = flag.Uint64("seed", sim.DefaultSeed, "random seed")
+		warmup   = flag.Int64("warmup", 60000, "warmup cycles")
+		measure  = flag.Int64("measure", 150000, "measured cycles")
+		listWork = flag.Bool("list", false, "list workloads and benchmarks, then exit")
+	)
+	flag.Parse()
+
+	if *listWork {
+		fmt.Println("workloads:")
+		for _, wl := range workload.Workloads() {
+			fmt.Printf("  %-6s %v\n", wl.Name, wl.Benchmarks)
+		}
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
+		fmt.Println("policies:  ", strings.Join(core.Policies(), ", "))
+		return
+	}
+
+	cfg, err := machineConfig(*machine)
+	if err != nil {
+		fatal(err)
+	}
+
+	var wl workload.Workload
+	if *solo != "" {
+		wl = sim.SoloWorkload(*solo)
+	} else {
+		wl, err = workload.GetWorkload(*wlName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := sim.Run(sim.Options{
+		Config:        cfg,
+		Policy:        *policy,
+		Workload:      wl,
+		Seed:          *seed,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine=%s policy=%s workload=%s cycles=%d\n", res.Machine, res.Policy, res.Workload, res.Cycles)
+	fmt.Printf("throughput: %.3f IPC\n", res.Throughput)
+	if f := res.FlushedFraction(); f > 0 {
+		fmt.Printf("flushed/fetched: %.1f%%\n", 100*f)
+	}
+	for i, t := range res.Threads {
+		fmt.Printf("  t%d %-8s IPC %.3f  fetched %d (wp %.0f%%)  L1m %.4f  L2m %.4f  TLBm %d  bpred-mr %.3f  imiss %.4f\n",
+			i, t.Benchmark, t.IPC,
+			t.Pipeline.Fetched, 100*float64(t.Pipeline.WrongPathFetched)/float64(max64(t.Pipeline.Fetched, 1)),
+			t.Mem.LoadL1MissRate(), t.Mem.LoadL2MissRate(), t.Mem.TLBMisses,
+			t.Bpred.MispredictRate(), imissRate(t))
+	}
+}
+
+func imissRate(t sim.ThreadResult) float64 {
+	if t.Mem.IFetches == 0 {
+		return 0
+	}
+	return float64(t.Mem.IMisses) / float64(t.Mem.IFetches)
+}
+
+func machineConfig(name string) (*config.Processor, error) {
+	switch name {
+	case "baseline":
+		return config.Baseline(), nil
+	case "small":
+		return config.Small(), nil
+	case "deep":
+		return config.Deep(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (baseline, small, deep)", name)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	os.Exit(1)
+}

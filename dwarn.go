@@ -1,0 +1,109 @@
+// Package dwarn is a cycle-level simultaneous multithreading (SMT)
+// processor simulator built to reproduce Cazorla, Ramirez, Valero and
+// Fernández, "DCache Warn: an I-Fetch Policy to Increase SMT
+// Efficiency" (IPDPS 2004).
+//
+// The library models an 8-wide out-of-order SMT core in the SMTSIM
+// tradition — ICOUNT-style fetch, shared issue queues and physical
+// registers, per-thread reorder buffers, gshare/BTB/RAS prediction with
+// wrong-path execution, and a 64KB/64KB/512KB cache hierarchy — driven
+// by synthetic SPECint2000 workloads calibrated to the paper's Table
+// 2(a). On top of it sit the six instruction-fetch policies of the
+// paper's evaluation: ICOUNT, STALL, FLUSH, DG, PDG, and the paper's
+// contribution, DWarn.
+//
+// Quick start:
+//
+//	wl, _ := dwarn.Workload("4-MIX")
+//	res, err := dwarn.Run(dwarn.Options{Policy: "dwarn", Workload: wl})
+//	if err != nil { ... }
+//	fmt.Println(res.Throughput)
+//
+// The cmd/experiments tool regenerates every table and figure of the
+// paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// measured-vs-paper results.
+package dwarn
+
+import (
+	"dwarn/internal/config"
+	"dwarn/internal/core"
+	"dwarn/internal/sim"
+	"dwarn/internal/stats"
+	"dwarn/internal/workload"
+)
+
+// Options selects a simulation; it mirrors the internal sim.Options.
+type Options = sim.Options
+
+// Result is a finished simulation's measurements.
+type Result = sim.Result
+
+// ThreadResult is one thread's measurements within a Result.
+type ThreadResult = sim.ThreadResult
+
+// Processor is a machine description.
+type Processor = config.Processor
+
+// Profile is a synthetic benchmark description.
+type Profile = workload.Profile
+
+// WorkloadSpec is a multiprogrammed workload.
+type WorkloadSpec = workload.Workload
+
+// Run executes one simulation: machine × fetch policy × workload.
+func Run(opts Options) (*Result, error) { return sim.Run(opts) }
+
+// RunSolo measures one benchmark alone under ICOUNT (the relative-IPC
+// baseline). cfg may be nil for the baseline machine.
+func RunSolo(cfg *Processor, bench string, seed uint64, warmup, measure int64) (*Result, error) {
+	return sim.RunSolo(cfg, bench, seed, warmup, measure)
+}
+
+// Baseline returns the paper's Table 3 machine: 8-wide, 9-stage,
+// ICOUNT 2.8 fetch.
+func Baseline() *Processor { return config.Baseline() }
+
+// Small returns the paper's §6 less aggressive machine: 4-wide,
+// 4-context, 1.4 fetch.
+func Small() *Processor { return config.Small() }
+
+// Deep returns the paper's §6 deeper machine: 16 stages, 64-entry
+// queues, doubled memory latency.
+func Deep() *Processor { return config.Deep() }
+
+// Policies returns the registered fetch policy names.
+func Policies() []string { return core.Policies() }
+
+// PaperPolicies returns the six policies of the paper's evaluation in
+// figure order: icount, stall, flush, dg, pdg, dwarn.
+func PaperPolicies() []string { return core.PaperPolicies() }
+
+// Benchmarks returns the twelve calibrated SPECint2000 benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// Benchmark returns the calibrated profile for a SPECint2000 name.
+func Benchmark(name string) (*Profile, error) { return workload.Get(name) }
+
+// RegisterBenchmark adds or replaces a synthetic benchmark profile,
+// which can then be used in custom workloads.
+func RegisterBenchmark(p *Profile) error { return workload.Register(p) }
+
+// Workload returns one of the paper's Table 2(b) workloads by name
+// (e.g. "4-MIX").
+func Workload(name string) (WorkloadSpec, error) { return workload.GetWorkload(name) }
+
+// Workloads returns all twelve Table 2(b) workloads in paper order.
+func Workloads() []WorkloadSpec { return workload.Workloads() }
+
+// Throughput sums per-thread IPCs (the paper's first metric).
+func Throughput(ipcs []float64) float64 { return stats.Throughput(ipcs) }
+
+// Hmean is the harmonic mean of relative IPCs (the paper's
+// throughput-fairness metric, after Luo et al.).
+func Hmean(rel []float64) float64 { return stats.Hmean(rel) }
+
+// WeightedSpeedup is the arithmetic mean of relative IPCs.
+func WeightedSpeedup(rel []float64) float64 { return stats.WeightedSpeedup(rel) }
+
+// RelativeIPCs divides per-thread SMT IPCs by their solo baselines.
+func RelativeIPCs(smt, solo []float64) ([]float64, error) { return stats.RelativeIPCs(smt, solo) }

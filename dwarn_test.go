@@ -1,0 +1,108 @@
+package dwarn_test
+
+import (
+	"testing"
+
+	"dwarn"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	wl, err := dwarn.Workload("2-MIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dwarn.Run(dwarn.Options{
+		Policy:        "dwarn",
+		Workload:      wl,
+		WarmupCycles:  8000,
+		MeasureCycles: 15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("zero throughput through public API")
+	}
+}
+
+func TestPublicMachines(t *testing.T) {
+	for _, p := range []*dwarn.Processor{dwarn.Baseline(), dwarn.Small(), dwarn.Deep()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPublicLists(t *testing.T) {
+	if len(dwarn.Benchmarks()) != 12 {
+		t.Error("benchmark list wrong")
+	}
+	if len(dwarn.Workloads()) != 12 {
+		t.Error("workload list wrong")
+	}
+	if len(dwarn.PaperPolicies()) != 6 {
+		t.Error("paper policy list wrong")
+	}
+	found := false
+	for _, p := range dwarn.Policies() {
+		if p == "dwarn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dwarn missing from policies")
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	if dwarn.Throughput([]float64{1, 2}) != 3 {
+		t.Error("throughput")
+	}
+	if dwarn.Hmean([]float64{1, 1}) != 1 {
+		t.Error("hmean")
+	}
+	if dwarn.WeightedSpeedup([]float64{1, 3}) != 2 {
+		t.Error("wspeedup")
+	}
+	rel, err := dwarn.RelativeIPCs([]float64{1}, []float64{2})
+	if err != nil || rel[0] != 0.5 {
+		t.Error("relative IPCs")
+	}
+}
+
+func TestCustomBenchmarkRegistration(t *testing.T) {
+	p, err := dwarn.Benchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := *p
+	custom.Name = "api-custom"
+	custom.L1MissRate, custom.L2MissRate = 0.10, 0.05
+	if err := dwarn.RegisterBenchmark(&custom); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dwarn.Run(dwarn.Options{
+		Policy: "icount",
+		Workload: dwarn.WorkloadSpec{
+			Name: "custom", Threads: 1, Benchmarks: []string{"api-custom"},
+		},
+		WarmupCycles:  8000,
+		MeasureCycles: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[0].IPC <= 0 {
+		t.Error("custom benchmark produced no work")
+	}
+}
+
+func TestRunSolo(t *testing.T) {
+	res, err := dwarn.RunSolo(nil, "bzip2", 42, 8000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[0].IPC <= 0 {
+		t.Error("solo run empty")
+	}
+}

@@ -1,0 +1,65 @@
+// Policycompare reproduces the heart of the paper's evaluation on one
+// workload: it runs all six fetch policies on the same workload, computes
+// throughput and the Hmean of relative IPCs (against solo baselines),
+// and prints a ranking.
+//
+// Usage: policycompare [workload]    (default 2-MEM)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"dwarn"
+)
+
+func main() {
+	wlName := "2-MEM"
+	if len(os.Args) > 1 {
+		wlName = os.Args[1]
+	}
+	wl, err := dwarn.Workload(wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solo baselines for relative IPC (one run per distinct benchmark).
+	solo := map[string]float64{}
+	for _, b := range wl.Benchmarks {
+		if _, ok := solo[b]; ok {
+			continue
+		}
+		res, err := dwarn.RunSolo(nil, b, 0, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solo[b] = res.Threads[0].IPC
+	}
+
+	type row struct {
+		policy     string
+		throughput float64
+		hmean      float64
+	}
+	var rows []row
+	for _, pol := range dwarn.PaperPolicies() {
+		res, err := dwarn.Run(dwarn.Options{Policy: pol, Workload: wl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := make([]float64, len(res.Threads))
+		for i, th := range res.Threads {
+			rel[i] = th.IPC / solo[th.Benchmark]
+		}
+		rows = append(rows, row{res.Policy, res.Throughput, dwarn.Hmean(rel)})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].hmean > rows[j].hmean })
+	fmt.Printf("%s — ranked by Hmean of relative IPCs (the paper's fairness metric):\n", wlName)
+	fmt.Printf("%-8s %12s %8s\n", "policy", "throughput", "Hmean")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12.3f %8.3f\n", r.policy, r.throughput, r.hmean)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: run the paper's 4-MIX workload (gzip, twolf, bzip2, mcf)
+// under the DWarn fetch policy on the baseline 8-wide SMT machine and
+// print per-thread IPCs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dwarn"
+)
+
+func main() {
+	wl, err := dwarn.Workload("4-MIX")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dwarn.Run(dwarn.Options{
+		Policy:   "dwarn",
+		Workload: wl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s under %s on the %s machine (%d cycles)\n",
+		res.Workload, res.Policy, res.Machine, res.Cycles)
+	for _, th := range res.Threads {
+		fmt.Printf("  %-8s IPC %.3f  (L1 miss %.1f%%, L2 miss %.1f%% of loads)\n",
+			th.Benchmark, th.IPC,
+			100*th.Pipeline.CommittedL1MissRate(),
+			100*th.Pipeline.CommittedL2MissRate())
+	}
+	fmt.Printf("throughput: %.3f IPC\n", res.Throughput)
+}

@@ -1,0 +1,298 @@
+// Package config defines the processor configurations evaluated in the
+// paper: the baseline 8-wide 2.8-fetch machine (Table 3), the smaller
+// 4-wide 1.4-fetch machine, and the deeper 16-stage machine (both §6).
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Banks is the number of interleaved banks (informational; bank
+	// conflicts are not charged — the paper's policies are insensitive
+	// to them and the authors note latencies assume no conflicts).
+	Banks int
+	// HitLatency is the access latency in cycles on a hit.
+	HitLatency int
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int {
+	return c.SizeBytes / (c.Ways * c.LineBytes)
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate(name string) error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("config: %s size must be positive", name)
+	case c.Ways <= 0:
+		return fmt.Errorf("config: %s ways must be positive", name)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("config: %s line size must be a positive power of two", name)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("config: %s size not divisible into %d-way sets of %d-byte lines", name, c.Ways, c.LineBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("config: %s set count %d must be a power of two", name, c.Sets())
+	case c.HitLatency < 1:
+		return fmt.Errorf("config: %s hit latency must be >= 1", name)
+	}
+	return nil
+}
+
+// BranchPredictorConfig describes the front-end predictors.
+type BranchPredictorConfig struct {
+	// GshareEntries is the size of the gshare pattern history table.
+	GshareEntries int
+	// GshareHistoryBits is the global history length.
+	GshareHistoryBits int
+	// BTBEntries and BTBWays shape the branch target buffer.
+	BTBEntries int
+	BTBWays    int
+	// RASEntries is the return address stack depth per thread.
+	RASEntries int
+}
+
+// Validate reports configuration errors.
+func (b BranchPredictorConfig) Validate() error {
+	switch {
+	case b.GshareEntries <= 0 || b.GshareEntries&(b.GshareEntries-1) != 0:
+		return errors.New("config: gshare entries must be a positive power of two")
+	case b.GshareHistoryBits < 1 || b.GshareHistoryBits > 30:
+		return errors.New("config: gshare history bits out of range")
+	case b.BTBEntries <= 0 || b.BTBWays <= 0 || b.BTBEntries%b.BTBWays != 0:
+		return errors.New("config: BTB entries must divide into ways")
+	case (b.BTBEntries/b.BTBWays)&(b.BTBEntries/b.BTBWays-1) != 0:
+		return errors.New("config: BTB set count must be a power of two")
+	case b.RASEntries <= 0:
+		return errors.New("config: RAS entries must be positive")
+	}
+	return nil
+}
+
+// Processor is a complete machine description.
+type Processor struct {
+	// Name labels the configuration in output.
+	Name string
+
+	// HardwareContexts is the maximum number of co-scheduled threads.
+	HardwareContexts int
+
+	// FetchThreads and FetchWidth define the x.y fetch mechanism:
+	// up to FetchThreads threads supply up to FetchWidth total
+	// instructions per cycle (2.8 baseline, 1.4 small machine).
+	FetchThreads int
+	FetchWidth   int
+
+	// DecodeWidth, IssueWidth, CommitWidth are per-cycle limits shared
+	// by all threads.
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// FrontEndLatency is the number of cycles between fetch and arrival
+	// in an issue queue (decode + rename + dispatch). The baseline value
+	// of 3 makes the fetch unit aware of an L1 data miss 5 cycles after
+	// the load was fetched (fetch + 3 front-end + issue + access),
+	// matching the paper.
+	FrontEndLatency int
+
+	// FetchQueueSize is the per-thread fetch/decode buffer capacity.
+	FetchQueueSize int
+
+	// IntQueueSize, FPQueueSize, LSQueueSize are the shared issue queue
+	// capacities.
+	IntQueueSize int
+	FPQueueSize  int
+	LSQueueSize  int
+
+	// IntUnits, FPUnits, LSUnits are functional unit counts.
+	IntUnits int
+	FPUnits  int
+	LSUnits  int
+
+	// IntMulLatency and FPLatency are execution latencies beyond the
+	// single-cycle integer ALU.
+	IntMulLatency int
+	FPLatency     int
+
+	// PhysIntRegs and PhysFPRegs are the shared physical register file
+	// sizes. Each hardware context permanently holds 32 of each for
+	// architectural state.
+	PhysIntRegs int
+	PhysFPRegs  int
+
+	// ROBSizePerThread is the per-thread reorder buffer capacity.
+	ROBSizePerThread int
+
+	// ICache, DCache, L2 describe the memory hierarchy.
+	ICache CacheConfig
+	DCache CacheConfig
+	L2     CacheConfig
+
+	// L1ToL2Latency is the additional delay from an L1 miss to the L2
+	// access completing (10 cycles baseline, 15 deep).
+	L1ToL2Latency int
+	// MemLatency is the additional delay for an L2 miss (100 baseline,
+	// 200 deep).
+	MemLatency int
+
+	// DTLBEntries is the per-thread data TLB size; PageBytes the page
+	// size; TLBMissPenalty the added latency on a DTLB miss (160).
+	DTLBEntries    int
+	PageBytes      int
+	TLBMissPenalty int
+
+	// Branch prediction.
+	Bpred BranchPredictorConfig
+
+	// MispredictRedirect is the number of cycles after resolution before
+	// fetch restarts on the correct path (front-end redirect bubble).
+	MispredictRedirect int
+}
+
+// Validate reports configuration errors.
+func (p *Processor) Validate() error {
+	switch {
+	case p.HardwareContexts < 1:
+		return errors.New("config: need at least one hardware context")
+	case p.FetchThreads < 1 || p.FetchWidth < 1:
+		return errors.New("config: fetch mechanism must be at least 1.1")
+	case p.DecodeWidth < 1 || p.IssueWidth < 1 || p.CommitWidth < 1:
+		return errors.New("config: widths must be positive")
+	case p.FrontEndLatency < 1:
+		return errors.New("config: front-end latency must be >= 1")
+	case p.FetchQueueSize < p.FetchWidth:
+		return errors.New("config: fetch queue must hold at least one fetch group")
+	case p.IntQueueSize < 1 || p.FPQueueSize < 1 || p.LSQueueSize < 1:
+		return errors.New("config: issue queues must be positive")
+	case p.IntUnits < 1 || p.FPUnits < 1 || p.LSUnits < 1:
+		return errors.New("config: need at least one unit of each kind")
+	case p.PhysIntRegs < 32*p.HardwareContexts+1:
+		return fmt.Errorf("config: %d int phys regs cannot back %d contexts", p.PhysIntRegs, p.HardwareContexts)
+	case p.PhysFPRegs < 32*p.HardwareContexts+1:
+		return fmt.Errorf("config: %d fp phys regs cannot back %d contexts", p.PhysFPRegs, p.HardwareContexts)
+	case p.ROBSizePerThread < 1:
+		return errors.New("config: ROB size must be positive")
+	case p.L1ToL2Latency < 1 || p.MemLatency < 1:
+		return errors.New("config: memory latencies must be positive")
+	case p.DTLBEntries < 1 || p.PageBytes <= 0 || p.PageBytes&(p.PageBytes-1) != 0:
+		return errors.New("config: TLB entries must be positive and page size a power of two")
+	case p.TLBMissPenalty < 0:
+		return errors.New("config: TLB miss penalty must be non-negative")
+	case p.MispredictRedirect < 0:
+		return errors.New("config: mispredict redirect must be non-negative")
+	}
+	if err := p.ICache.Validate("icache"); err != nil {
+		return err
+	}
+	if err := p.DCache.Validate("dcache"); err != nil {
+		return err
+	}
+	if err := p.L2.Validate("l2"); err != nil {
+		return err
+	}
+	return p.Bpred.Validate()
+}
+
+// Baseline returns the paper's Table 3 configuration: 8-wide, 9-stage,
+// ICOUNT 2.8 fetch, 32-entry queues, 384+384 physical registers.
+func Baseline() *Processor {
+	return &Processor{
+		Name:             "baseline",
+		HardwareContexts: 8,
+		FetchThreads:     2,
+		FetchWidth:       8,
+		DecodeWidth:      8,
+		IssueWidth:       8,
+		CommitWidth:      8,
+		FrontEndLatency:  3,
+		FetchQueueSize:   16,
+		IntQueueSize:     32,
+		FPQueueSize:      32,
+		LSQueueSize:      32,
+		IntUnits:         6,
+		FPUnits:          3,
+		LSUnits:          4,
+		IntMulLatency:    3,
+		FPLatency:        4,
+		PhysIntRegs:      384,
+		PhysFPRegs:       384,
+		ROBSizePerThread: 256,
+		ICache: CacheConfig{
+			SizeBytes: 64 << 10, Ways: 2, LineBytes: 64, Banks: 8, HitLatency: 1,
+		},
+		DCache: CacheConfig{
+			SizeBytes: 64 << 10, Ways: 2, LineBytes: 64, Banks: 8, HitLatency: 1,
+		},
+		L2: CacheConfig{
+			SizeBytes: 512 << 10, Ways: 2, LineBytes: 64, Banks: 8, HitLatency: 10,
+		},
+		L1ToL2Latency:  10,
+		MemLatency:     100,
+		DTLBEntries:    128,
+		PageBytes:      8 << 10,
+		TLBMissPenalty: 160,
+		Bpred: BranchPredictorConfig{
+			GshareEntries:     2048,
+			GshareHistoryBits: 6,
+			BTBEntries:        256,
+			BTBWays:           4,
+			RASEntries:        256,
+		},
+		MispredictRedirect: 1,
+	}
+}
+
+// Small returns the paper's §6 less aggressive machine: 4-wide,
+// 4-context, 1.4 fetch, 256 physical registers, 3 int / 2 fp / 2 ld-st
+// units. Everything not mentioned in the paper inherits the baseline.
+func Small() *Processor {
+	p := Baseline()
+	p.Name = "small"
+	p.HardwareContexts = 4
+	p.FetchThreads = 1
+	p.FetchWidth = 4
+	p.DecodeWidth = 4
+	p.IssueWidth = 4
+	p.CommitWidth = 4
+	p.IntUnits = 3
+	p.FPUnits = 2
+	p.LSUnits = 2
+	p.PhysIntRegs = 256
+	p.PhysFPRegs = 256
+	return p
+}
+
+// Deep returns the paper's §6 deeper, more aggressive machine: 16-stage
+// pipeline (front-end latency +3, so an L1 miss is known 8 cycles after
+// fetch), 2.8 fetch, 64-entry issue queues, L1→L2 latency 15, memory
+// latency 200.
+func Deep() *Processor {
+	p := Baseline()
+	p.Name = "deep"
+	p.FrontEndLatency = 6
+	p.IntQueueSize = 64
+	p.FPQueueSize = 64
+	p.LSQueueSize = 64
+	p.L1ToL2Latency = 15
+	p.MemLatency = 200
+	p.L2.HitLatency = 15
+	p.MispredictRedirect = 4
+	return p
+}
+
+// Clone returns a deep copy (Processor contains only value fields, so a
+// shallow copy suffices; the method exists to make call sites explicit).
+func (p *Processor) Clone() *Processor {
+	q := *p
+	return &q
+}

@@ -1,0 +1,133 @@
+package config
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range []*Processor{Baseline(), Small(), Deep()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestBaselineMatchesPaperTable3(t *testing.T) {
+	p := Baseline()
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"fetch threads", p.FetchThreads, 2},
+		{"fetch width", p.FetchWidth, 8},
+		{"issue width", p.IssueWidth, 8},
+		{"int queue", p.IntQueueSize, 32},
+		{"fp queue", p.FPQueueSize, 32},
+		{"ls queue", p.LSQueueSize, 32},
+		{"int units", p.IntUnits, 6},
+		{"fp units", p.FPUnits, 3},
+		{"ls units", p.LSUnits, 4},
+		{"int regs", p.PhysIntRegs, 384},
+		{"fp regs", p.PhysFPRegs, 384},
+		{"rob", p.ROBSizePerThread, 256},
+		{"icache size", p.ICache.SizeBytes, 64 << 10},
+		{"dcache ways", p.DCache.Ways, 2},
+		{"l2 size", p.L2.SizeBytes, 512 << 10},
+		{"l2 latency", p.L2.HitLatency, 10},
+		{"l1->l2", p.L1ToL2Latency, 10},
+		{"memory", p.MemLatency, 100},
+		{"tlb penalty", p.TLBMissPenalty, 160},
+		{"gshare", p.Bpred.GshareEntries, 2048},
+		{"btb", p.Bpred.BTBEntries, 256},
+		{"ras", p.Bpred.RASEntries, 256},
+		{"contexts", p.HardwareContexts, 8},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSmallMatchesPaper(t *testing.T) {
+	p := Small()
+	if p.FetchThreads != 1 || p.FetchWidth != 4 {
+		t.Errorf("small fetch mechanism %d.%d, want 1.4", p.FetchThreads, p.FetchWidth)
+	}
+	if p.PhysIntRegs != 256 || p.HardwareContexts != 4 {
+		t.Errorf("small regs/contexts %d/%d, want 256/4", p.PhysIntRegs, p.HardwareContexts)
+	}
+	if p.IntUnits != 3 || p.FPUnits != 2 || p.LSUnits != 2 {
+		t.Errorf("small units %d/%d/%d, want 3/2/2", p.IntUnits, p.FPUnits, p.LSUnits)
+	}
+}
+
+func TestDeepMatchesPaper(t *testing.T) {
+	p := Deep()
+	if p.IntQueueSize != 64 {
+		t.Errorf("deep int queue %d, want 64", p.IntQueueSize)
+	}
+	if p.L1ToL2Latency != 15 || p.MemLatency != 200 {
+		t.Errorf("deep latencies %d/%d, want 15/200", p.L1ToL2Latency, p.MemLatency)
+	}
+	if p.FrontEndLatency <= Baseline().FrontEndLatency {
+		t.Error("deep front end not deeper than baseline")
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := CacheConfig{SizeBytes: 64 << 10, Ways: 2, LineBytes: 64, HitLatency: 1}
+	if got := c.Sets(); got != 512 {
+		t.Errorf("Sets() = %d, want 512", got)
+	}
+}
+
+func TestCacheValidateRejects(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 2, LineBytes: 64, HitLatency: 1},
+		{SizeBytes: 64 << 10, Ways: 0, LineBytes: 64, HitLatency: 1},
+		{SizeBytes: 64 << 10, Ways: 2, LineBytes: 63, HitLatency: 1},
+		{SizeBytes: 64 << 10, Ways: 2, LineBytes: 64, HitLatency: 0},
+		{SizeBytes: 3 << 10, Ways: 2, LineBytes: 64, HitLatency: 1}, // 24 sets: not a power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate("test"); err == nil {
+			t.Errorf("case %d validated unexpectedly: %+v", i, c)
+		}
+	}
+}
+
+func TestProcessorValidateRejects(t *testing.T) {
+	mutations := []func(*Processor){
+		func(p *Processor) { p.HardwareContexts = 0 },
+		func(p *Processor) { p.FetchWidth = 0 },
+		func(p *Processor) { p.FrontEndLatency = 0 },
+		func(p *Processor) { p.FetchQueueSize = 1 },
+		func(p *Processor) { p.IntQueueSize = 0 },
+		func(p *Processor) { p.IntUnits = 0 },
+		func(p *Processor) { p.PhysIntRegs = 100 }, // cannot back 8 contexts
+		func(p *Processor) { p.ROBSizePerThread = 0 },
+		func(p *Processor) { p.MemLatency = 0 },
+		func(p *Processor) { p.PageBytes = 3000 },
+		func(p *Processor) { p.TLBMissPenalty = -1 },
+		func(p *Processor) { p.Bpred.GshareEntries = 1000 },
+		func(p *Processor) { p.Bpred.BTBEntries = 7 },
+		func(p *Processor) { p.Bpred.RASEntries = 0 },
+		func(p *Processor) { p.Bpred.GshareHistoryBits = 0 },
+	}
+	for i, mut := range mutations {
+		p := Baseline()
+		mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated unexpectedly", i)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := Baseline()
+	q := p.Clone()
+	q.FetchWidth = 99
+	if p.FetchWidth == 99 {
+		t.Error("Clone shares state with the original")
+	}
+}

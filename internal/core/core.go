@@ -1,0 +1,71 @@
+// Package core implements the fetch policies the paper studies: the
+// ICOUNT baseline, the long-latency-load policies STALL and FLUSH
+// (Tullsen & Brown), data gating DG and predictive data gating PDG
+// (El-Moursy & Albonesi), and the paper's contribution, DWarn, plus a
+// prioritisation-only DWarn variant used for ablation.
+//
+// Every policy is built on top of ICOUNT ordering, as in the paper. The
+// policies differ in their detection moment (fetch-time prediction, L1
+// miss, L2 miss, or a latency threshold) and their response action
+// (gating, flushing, resource limiting, or priority reduction) — the
+// paper's Table 1 taxonomy.
+package core
+
+import (
+	"sort"
+
+	"dwarn/internal/pipeline"
+)
+
+// icountLess orders thread IDs by ascending pre-issue instruction count
+// (the ICOUNT heuristic), breaking ties with a rotating offset so equal
+// threads share fetch slots fairly over time.
+func icountOrder(cpu *pipeline.CPU, now int64, tids []int) {
+	n := cpu.NumThreads()
+	key := func(tid int) int {
+		rot := (tid + int(now)) % n
+		return cpu.PreIssueCount(tid)*16 + rot
+	}
+	sort.Slice(tids, func(i, j int) bool { return key(tids[i]) < key(tids[j]) })
+}
+
+// nopEvents provides no-op implementations of the event hooks so simple
+// policies only override what they need.
+type nopEvents struct{}
+
+func (nopEvents) OnFetch(*pipeline.DynInst, int64)         {}
+func (nopEvents) OnLoadAccess(*pipeline.DynInst, int64)    {}
+func (nopEvents) OnL2Miss(*pipeline.DynInst, int64)        {}
+func (nopEvents) OnLoadReturning(*pipeline.DynInst, int64) {}
+func (nopEvents) OnLoadReturn(*pipeline.DynInst, int64)    {}
+func (nopEvents) OnSquash(*pipeline.DynInst, int64)        {}
+func (nopEvents) Tick(int64)                               {}
+
+// ICOUNT is the baseline policy: fetch priority to the threads with the
+// fewest in-flight pre-issue instructions (Tullsen et al.). It has no
+// awareness of cache misses.
+type ICOUNT struct {
+	nopEvents
+	cpu *pipeline.CPU
+}
+
+// NewICOUNT returns the ICOUNT baseline policy.
+func NewICOUNT() *ICOUNT { return &ICOUNT{} }
+
+// Name implements pipeline.FetchPolicy.
+func (p *ICOUNT) Name() string { return "ICOUNT" }
+
+// Attach implements pipeline.FetchPolicy.
+func (p *ICOUNT) Attach(cpu *pipeline.CPU) { p.cpu = cpu }
+
+// Reset implements pipeline.FetchPolicy.
+func (p *ICOUNT) Reset() {}
+
+// Priority implements pipeline.FetchPolicy: all threads, ICOUNT order.
+func (p *ICOUNT) Priority(now int64, dst []int) []int {
+	for t := 0; t < p.cpu.NumThreads(); t++ {
+		dst = append(dst, t)
+	}
+	icountOrder(p.cpu, now, dst)
+	return dst
+}

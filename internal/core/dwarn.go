@@ -1,0 +1,115 @@
+package core
+
+import (
+	"dwarn/internal/pipeline"
+)
+
+// DWarn is the paper's contribution. Detection moment: the L1 data-miss
+// tag check (reliable — every L2 miss was first an L1 miss — and early).
+// Response action: *reduce priority* rather than gate. Each cycle the
+// threads are classified by the per-context in-flight L1 data-miss
+// counter into the Normal group (counter zero) and the Dmiss group
+// (counter positive); fetch serves Normal threads first, ICOUNT order
+// within each group, so Dmiss threads get slots only when the Normal
+// threads cannot fill the fetch bandwidth.
+//
+// Hybrid response (the full DWarn of §3): with fewer than three running
+// threads, priority reduction alone cannot keep a Dmiss thread out of a
+// 2.8 fetch engine's spare slots, so a load that *actually* misses in
+// L2 (the L2 tag-check signal) additionally gates its thread until the
+// data returns. With three or more threads only prioritisation is used;
+// threads are never fully stalled.
+type DWarn struct {
+	nopEvents
+	cpu *pipeline.CPU
+	// hybrid enables the <3-thread L2-miss gate; disabled for the
+	// DWarn-Prio ablation variant.
+	hybrid bool
+	// gating counts declared-and-unreturned L2-missing loads per thread
+	// (only maintained when the hybrid gate is active).
+	gating []int
+	// variant name: "DWarn" or "DWarn-Prio".
+	name string
+}
+
+// NewDWarn returns the full hybrid DWarn policy.
+func NewDWarn() *DWarn { return &DWarn{hybrid: true, name: "DWarn"} }
+
+// NewDWarnPrio returns the prioritisation-only variant (no gate with
+// few threads) — the ablation the paper's §3 discussion motivates.
+func NewDWarnPrio() *DWarn { return &DWarn{hybrid: false, name: "DWarn-Prio"} }
+
+// Name implements pipeline.FetchPolicy.
+func (p *DWarn) Name() string { return p.name }
+
+// Attach implements pipeline.FetchPolicy.
+func (p *DWarn) Attach(cpu *pipeline.CPU) {
+	p.cpu = cpu
+	p.gating = make([]int, cpu.NumThreads())
+}
+
+// Reset implements pipeline.FetchPolicy.
+func (p *DWarn) Reset() {
+	for i := range p.gating {
+		p.gating[i] = 0
+	}
+}
+
+// gateActive reports whether the hybrid L2-miss gate applies: fewer
+// than three running threads.
+func (p *DWarn) gateActive() bool { return p.hybrid && p.cpu.NumThreads() < 3 }
+
+// OnL2Miss implements pipeline.FetchPolicy: the true L2-miss signal
+// gates the thread when the hybrid response is active.
+func (p *DWarn) OnL2Miss(inst *pipeline.DynInst, now int64) {
+	if !p.gateActive() || inst.PolicyCounted {
+		return
+	}
+	inst.PolicyCounted = true
+	p.gating[inst.Thread]++
+}
+
+// OnLoadReturning implements pipeline.FetchPolicy: release the gate on
+// the advance return indication, like STALL.
+func (p *DWarn) OnLoadReturning(inst *pipeline.DynInst, now int64) { p.release(inst) }
+
+// OnLoadReturn implements pipeline.FetchPolicy.
+func (p *DWarn) OnLoadReturn(inst *pipeline.DynInst, now int64) { p.release(inst) }
+
+// OnSquash implements pipeline.FetchPolicy.
+func (p *DWarn) OnSquash(inst *pipeline.DynInst, now int64) { p.release(inst) }
+
+func (p *DWarn) release(inst *pipeline.DynInst) {
+	if inst.PolicyCounted {
+		inst.PolicyCounted = false
+		p.gating[inst.Thread]--
+	}
+}
+
+// Priority implements pipeline.FetchPolicy: Normal threads first, then
+// Dmiss threads, ICOUNT order within each group; hybrid-gated threads
+// are omitted unless that would leave nothing to fetch from.
+func (p *DWarn) Priority(now int64, dst []int) []int {
+	n := p.cpu.NumThreads()
+	normal := dst
+	var dmiss, gated []int
+	for t := 0; t < n; t++ {
+		switch {
+		case p.gateActive() && p.gating[t] > 0:
+			gated = append(gated, t)
+		case p.cpu.L1DMissInFlight(t) > 0:
+			dmiss = append(dmiss, t)
+		default:
+			normal = append(normal, t)
+		}
+	}
+	icountOrder(p.cpu, now, normal)
+	icountOrder(p.cpu, now, dmiss)
+	out := append(normal, dmiss...)
+	if len(out) == 0 && len(gated) > 0 {
+		// Keep one thread running, as the related policies do.
+		icountOrder(p.cpu, now, gated)
+		out = append(out, gated[0])
+	}
+	return out
+}

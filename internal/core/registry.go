@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dwarn/internal/pipeline"
+)
+
+// Factory constructs a fresh policy instance. Policies hold per-CPU
+// state, so each simulation needs its own instance.
+type Factory func() pipeline.FetchPolicy
+
+var registry = map[string]Factory{
+	"icount":     func() pipeline.FetchPolicy { return NewICOUNT() },
+	"stall":      func() pipeline.FetchPolicy { return NewSTALL() },
+	"flush":      func() pipeline.FetchPolicy { return NewFLUSH() },
+	"dg":         func() pipeline.FetchPolicy { return NewDG() },
+	"pdg":        func() pipeline.FetchPolicy { return NewPDG() },
+	"dwarn":      func() pipeline.FetchPolicy { return NewDWarn() },
+	"dwarn-prio": func() pipeline.FetchPolicy { return NewDWarnPrio() },
+}
+
+// PaperPolicies lists the six policies of the paper's evaluation, in
+// the figures' order.
+func PaperPolicies() []string {
+	return []string{"icount", "stall", "flush", "dg", "pdg", "dwarn"}
+}
+
+// Policies returns all registered policy names, sorted.
+func Policies() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewPolicy constructs a policy by registry name.
+func NewPolicy(name string) (pipeline.FetchPolicy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (known: %v)", name, Policies())
+	}
+	return f(), nil
+}
+
+// MustNewPolicy is NewPolicy for static names; it panics on unknown
+// policies.
+func MustNewPolicy(name string) pipeline.FetchPolicy {
+	p, err := NewPolicy(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

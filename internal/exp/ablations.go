@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+
+	"dwarn/internal/core"
+	"dwarn/internal/pipeline"
+	"dwarn/internal/workload"
+)
+
+// AblateL2Threshold sweeps the cycle threshold at which STALL and FLUSH
+// declare a load an L2 miss. The paper tuned this parameter and found
+// 15 best for the baseline machine (§5).
+func (r *Runner) AblateL2Threshold() (*Table, error) {
+	thresholds := []int64{5, 10, 15, 25, 40}
+	wls := []string{"2-MEM", "4-MIX", "4-MEM"}
+	var jobs []job
+	for _, wn := range wls {
+		wl, err := workload.GetWorkload(wn)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range thresholds {
+			th := th
+			jobs = append(jobs,
+				job{machine: "baseline", label: fmt.Sprintf("stall-t%d", th), workload: wl,
+					instance: func() pipeline.FetchPolicy { return core.NewSTALLThreshold(th) }},
+				job{machine: "baseline", label: fmt.Sprintf("flush-t%d", th), workload: wl,
+					instance: func() pipeline.FetchPolicy { return core.NewFLUSHThreshold(th) }},
+			)
+		}
+	}
+	if err := r.runAll(jobs); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablate-threshold",
+		Title:  "STALL/FLUSH throughput vs L2-declaration threshold (paper uses 15)",
+		Header: []string{"workload", "policy"},
+	}
+	for _, th := range thresholds {
+		t.Header = append(t.Header, fmt.Sprintf("t=%d", th))
+	}
+	for _, wn := range wls {
+		for _, pol := range []string{"stall", "flush"} {
+			row := []string{wn, pol}
+			for _, th := range thresholds {
+				res := r.get("baseline", fmt.Sprintf("%s-t%d", pol, th), wn)
+				row = append(row, cell(res.Throughput))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// AblateDGThreshold sweeps DG's outstanding-miss gate threshold n; the
+// paper (following El-Moursy & Albonesi) uses n = 0.
+func (r *Runner) AblateDGThreshold() (*Table, error) {
+	ns := []int{0, 1, 2, 4}
+	wls := []string{"2-MEM", "4-MEM", "8-MEM"}
+	var jobs []job
+	for _, wn := range wls {
+		wl, err := workload.GetWorkload(wn)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ns {
+			n := n
+			jobs = append(jobs, job{machine: "baseline", label: fmt.Sprintf("dg-n%d", n), workload: wl,
+				instance: func() pipeline.FetchPolicy { return core.NewDGThreshold(n) }})
+		}
+	}
+	if err := r.runAll(jobs); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablate-dg",
+		Title:  "DG throughput vs gate threshold n (paper uses n=0)",
+		Header: []string{"workload"},
+	}
+	for _, n := range ns {
+		t.Header = append(t.Header, fmt.Sprintf("n=%d", n))
+	}
+	for _, wn := range wls {
+		row := []string{wn}
+		for _, n := range ns {
+			row = append(row, cell(r.get("baseline", fmt.Sprintf("dg-n%d", n), wn).Throughput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblateDWarnHybrid compares full DWarn against the prioritisation-only
+// variant. The paper motivates the hybrid gate with the 2-thread case:
+// priority reduction alone cannot keep a Dmiss thread out of a 2.8
+// fetch engine's spare slots.
+func (r *Runner) AblateDWarnHybrid() (*Table, error) {
+	wls := []string{"2-ILP", "2-MIX", "2-MEM", "4-MIX", "4-MEM"}
+	var jobs []job
+	for _, wn := range wls {
+		wl, err := workload.GetWorkload(wn)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs,
+			job{machine: "baseline", policy: "dwarn", workload: wl},
+			job{machine: "baseline", policy: "dwarn-prio", workload: wl},
+		)
+	}
+	if err := r.runAll(jobs); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablate-hybrid",
+		Title:  "DWarn hybrid gate vs prioritisation only (throughput)",
+		Header: []string{"workload", "DWarn", "DWarn-Prio", "hybrid gain"},
+	}
+	for _, wn := range wls {
+		full := r.get("baseline", "dwarn", wn).Throughput
+		prio := r.get("baseline", "dwarn-prio", wn).Throughput
+		t.Rows = append(t.Rows, []string{wn, cell(full), cell(prio), pct(100 * (full - prio) / prio)})
+	}
+	t.Notes = append(t.Notes, "the gate only engages below three threads; 4-thread rows should show ~no difference")
+	return t, nil
+}

@@ -1,0 +1,55 @@
+package exp
+
+import "fmt"
+
+// Experiments lists every regenerable artifact by identifier.
+var Experiments = []string{
+	"table2a", "fig1a", "fig1b", "fig2", "fig3", "table4",
+	"fig4", "fig5",
+	"ablate-threshold", "ablate-dg", "ablate-hybrid",
+}
+
+// Run executes one experiment by identifier, returning its tables.
+func (r *Runner) Run(id string) ([]*Table, error) {
+	switch id {
+	case "table2a":
+		t, err := r.Table2a()
+		return wrap(t, err)
+	case "fig1a":
+		t, err := r.Fig1a()
+		return wrap(t, err)
+	case "fig1b":
+		t, err := r.Fig1b()
+		return wrap(t, err)
+	case "fig2":
+		t, err := r.Fig2()
+		return wrap(t, err)
+	case "fig3":
+		t, err := r.Fig3()
+		return wrap(t, err)
+	case "table4":
+		t, err := r.Table4()
+		return wrap(t, err)
+	case "fig4":
+		return r.Fig4()
+	case "fig5":
+		return r.Fig5()
+	case "ablate-threshold":
+		t, err := r.AblateL2Threshold()
+		return wrap(t, err)
+	case "ablate-dg":
+		t, err := r.AblateDGThreshold()
+		return wrap(t, err)
+	case "ablate-hybrid":
+		t, err := r.AblateDWarnHybrid()
+		return wrap(t, err)
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, Experiments)
+}
+
+func wrap(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}

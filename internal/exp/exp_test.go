@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dwarn/internal/workload"
+)
+
+// fastRunner uses very short simulations: these tests exercise the
+// harness plumbing, not result quality.
+func fastRunner() *Runner {
+	return NewRunner(Config{WarmupCycles: 4000, MeasureCycles: 8000})
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	s := tb.Render()
+	for _, want := range []string{"demo", "a", "1", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMachineFor(t *testing.T) {
+	for _, name := range []string{"baseline", "small", "deep", ""} {
+		if _, err := machineFor(name); err != nil {
+			t.Errorf("machineFor(%q): %v", name, err)
+		}
+	}
+	if _, err := machineFor("nonesuch"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestRunnerMemoises(t *testing.T) {
+	r := fastRunner()
+	wl, _ := workload.GetWorkload("2-MIX")
+	j := job{machine: "baseline", policy: "icount", workload: wl}
+	if err := r.runAll([]job{j}); err != nil {
+		t.Fatal(err)
+	}
+	first := r.get("baseline", "icount", "2-MIX")
+	if err := r.runAll([]job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if second := r.get("baseline", "icount", "2-MIX"); second != first {
+		t.Error("second runAll re-simulated instead of memoising")
+	}
+}
+
+func TestSoloCached(t *testing.T) {
+	r := fastRunner()
+	a, err := r.solo("baseline", "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.solo("baseline", "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a <= 0 {
+		t.Errorf("solo cache broken: %v vs %v", a, b)
+	}
+}
+
+func TestTable2aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := fastRunner().Table2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := fastRunner().Run("nonesuch"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAblateHybridSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := fastRunner().AblateDWarnHybrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := fastRunner().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d policy rows", len(tb.Rows))
+	}
+	// Header: policy + 4 threads + Hmean.
+	if len(tb.Header) != 6 {
+		t.Fatalf("header %v", tb.Header)
+	}
+}
+
+func TestExperimentListComplete(t *testing.T) {
+	if len(Experiments) != 11 {
+		t.Errorf("%d experiments registered", len(Experiments))
+	}
+}

@@ -1,0 +1,228 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation: Table 2(a) (isolated cache behaviour), Figure 1 (absolute
+// throughput and DWarn's improvement), Figure 2 (flushed instructions
+// under FLUSH), Figure 3 (Hmean improvement), Table 4 (per-thread
+// relative IPCs on 4-MIX), Figures 4 and 5 (the smaller and deeper
+// machines), plus the ablation studies DESIGN.md calls out.
+//
+// Simulations are memoised and independent runs fan out over a worker
+// pool, so experiments that share the policy × workload × machine grid
+// (Figures 1 and 3, Table 4) pay for each simulation once.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dwarn/internal/config"
+	"dwarn/internal/pipeline"
+	"dwarn/internal/sim"
+	"dwarn/internal/workload"
+)
+
+// Config controls the measurement protocol for all experiments.
+type Config struct {
+	// Seed drives all synthetic randomness (0 = sim.DefaultSeed).
+	Seed uint64
+	// WarmupCycles and MeasureCycles per simulation (0 = package
+	// defaults: 60k warmup, 150k measured).
+	WarmupCycles  int64
+	MeasureCycles int64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Default run lengths for experiments: long enough for stable rankings,
+// short enough that the full paper regeneration finishes in minutes.
+const (
+	DefaultWarmup  = 60_000
+	DefaultMeasure = 150_000
+)
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = sim.DefaultSeed
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = DefaultWarmup
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = DefaultMeasure
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Runner executes and memoises simulations.
+type Runner struct {
+	cfg Config
+
+	mu   sync.Mutex
+	runs map[runKey]*sim.Result
+	errs map[runKey]error
+}
+
+type runKey struct {
+	machine  string
+	policy   string
+	workload string
+}
+
+// NewRunner builds a Runner with the given protocol.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		cfg:  cfg.withDefaults(),
+		runs: make(map[runKey]*sim.Result),
+		errs: make(map[runKey]error),
+	}
+}
+
+// machineFor maps a machine name to its configuration.
+func machineFor(name string) (*config.Processor, error) {
+	switch name {
+	case "", "baseline":
+		return config.Baseline(), nil
+	case "small":
+		return config.Small(), nil
+	case "deep":
+		return config.Deep(), nil
+	}
+	return nil, fmt.Errorf("exp: unknown machine %q", name)
+}
+
+// job is one simulation to perform.
+type job struct {
+	machine  string
+	policy   string                      // registry name, or "" when instance is set
+	instance func() pipeline.FetchPolicy // for parameterised policies
+	workload workload.Workload
+	label    string // memo key for instance-based jobs
+}
+
+func (j job) key() runKey {
+	pol := j.policy
+	if pol == "" {
+		pol = j.label
+	}
+	return runKey{machine: j.machine, policy: pol, workload: j.workload.Name}
+}
+
+// execute runs one job (uncached).
+func (r *Runner) execute(j job) (*sim.Result, error) {
+	cfg, err := machineFor(j.machine)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.Options{
+		Config:        cfg,
+		Policy:        j.policy,
+		Workload:      j.workload,
+		Seed:          r.cfg.Seed,
+		WarmupCycles:  r.cfg.WarmupCycles,
+		MeasureCycles: r.cfg.MeasureCycles,
+	}
+	if j.instance != nil {
+		opts.PolicyInstance = j.instance()
+	}
+	return sim.Run(opts)
+}
+
+// runAll completes all jobs, memoised, fanning out over the worker pool.
+func (r *Runner) runAll(jobs []job) error {
+	var pending []job
+	r.mu.Lock()
+	for _, j := range jobs {
+		k := j.key()
+		if _, ok := r.runs[k]; ok {
+			continue
+		}
+		if _, ok := r.errs[k]; ok {
+			continue
+		}
+		// Reserve the slot so duplicate jobs in this batch run once.
+		r.runs[k] = nil
+		pending = append(pending, j)
+	}
+	r.mu.Unlock()
+
+	sem := make(chan struct{}, r.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range pending {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := r.execute(j)
+			r.mu.Lock()
+			if err != nil {
+				delete(r.runs, j.key())
+				r.errs[j.key()] = err
+			} else {
+				r.runs[j.key()] = res
+			}
+			r.mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range jobs {
+		if err := r.errs[j.key()]; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// get returns a memoised result; runAll must have succeeded for its job.
+func (r *Runner) get(machine, policy string, wl string) *sim.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs[runKey{machine: machine, policy: policy, workload: wl}]
+}
+
+// Solo returns the single-thread IPC of a benchmark on a machine (the
+// relative-IPC denominator), memoised via the same cache.
+func (r *Runner) solo(machine, bench string) (float64, error) {
+	wl := sim.SoloWorkload(bench)
+	if err := r.runAll([]job{{machine: machine, policy: "icount", workload: wl}}); err != nil {
+		return 0, err
+	}
+	return r.get(machine, "icount", wl.Name).Threads[0].IPC, nil
+}
+
+// soloAll warms the solo cache for every benchmark in the workloads.
+func (r *Runner) soloAll(machine string, wls []workload.Workload) error {
+	seen := map[string]bool{}
+	var jobs []job
+	for _, wl := range wls {
+		for _, b := range wl.Benchmarks {
+			if !seen[b] {
+				seen[b] = true
+				jobs = append(jobs, job{machine: machine, policy: "icount", workload: sim.SoloWorkload(b)})
+			}
+		}
+	}
+	return r.runAll(jobs)
+}
+
+// relIPCs computes each thread's relative IPC for a finished run.
+func (r *Runner) relIPCs(machine string, res *sim.Result) ([]float64, error) {
+	rel := make([]float64, len(res.Threads))
+	for i, t := range res.Threads {
+		solo, err := r.solo(machine, t.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		if solo <= 0 {
+			return nil, fmt.Errorf("exp: zero solo IPC for %s on %s", t.Benchmark, machine)
+		}
+		rel[i] = t.IPC / solo
+	}
+	return rel, nil
+}

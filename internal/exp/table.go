@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a rendered experiment result: the rows and series a paper
+// table or figure reports.
+type Table struct {
+	// ID is the experiment identifier (e.g. "fig1a").
+	ID string
+	// Title describes the artifact being regenerated.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes are printed under the table (paper-vs-measured remarks).
+	Notes []string
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// cell formats a float with sensible precision for tables.
+func cell(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats an improvement percentage.
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }

@@ -1,0 +1,176 @@
+// Package isa defines the dynamic instruction (uop) model shared by the
+// workload generators, the pipeline, and the fetch policies.
+//
+// The simulator is trace-driven in the SMTSIM tradition: instructions
+// carry their own outcomes (branch direction, effective address) and the
+// pipeline charges timing for discovering those outcomes. A generic
+// RISC-like vocabulary (Alpha-flavoured: 32 int + 32 fp architectural
+// registers, 4-byte instructions) is sufficient because the policies
+// under study react only to dynamic events, not to opcode semantics.
+package isa
+
+import "fmt"
+
+// Class is the functional class of an instruction. It determines which
+// issue queue and functional unit the uop needs and its execution latency.
+type Class uint8
+
+const (
+	// IntALU is a single-cycle integer operation.
+	IntALU Class = iota
+	// IntMul is a multi-cycle integer multiply.
+	IntMul
+	// FPALU is a pipelined floating-point operation.
+	FPALU
+	// FPMul is a pipelined floating-point multiply.
+	FPMul
+	// Load reads memory through the data cache.
+	Load
+	// Store writes memory through the data cache.
+	Store
+	// CondBranch is a conditional branch (predicted by gshare).
+	CondBranch
+	// Jump is an unconditional direct jump (always taken; BTB target).
+	Jump
+	// Call is a subroutine call (pushes the RAS).
+	Call
+	// Ret is a subroutine return (predicted by the RAS).
+	Ret
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	IntALU:     "IntALU",
+	IntMul:     "IntMul",
+	FPALU:      "FPALU",
+	FPMul:      "FPMul",
+	Load:       "Load",
+	Store:      "Store",
+	CondBranch: "CondBranch",
+	Jump:       "Jump",
+	Call:       "Call",
+	Ret:        "Ret",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsBranch reports whether the class redirects control flow.
+func (c Class) IsBranch() bool {
+	switch c {
+	case CondBranch, Jump, Call, Ret:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// UsesFP reports whether the class uses the floating-point register file
+// and issue queue.
+func (c Class) UsesFP() bool { return c == FPALU || c == FPMul }
+
+// Queue identifies one of the three shared issue queues.
+type Queue uint8
+
+const (
+	// QInt is the integer issue queue.
+	QInt Queue = iota
+	// QFP is the floating-point issue queue.
+	QFP
+	// QLS is the load/store issue queue.
+	QLS
+	// NumQueues is the number of issue queues.
+	NumQueues
+)
+
+func (q Queue) String() string {
+	switch q {
+	case QInt:
+		return "int"
+	case QFP:
+		return "fp"
+	case QLS:
+		return "ls"
+	}
+	return fmt.Sprintf("Queue(%d)", uint8(q))
+}
+
+// QueueFor returns the issue queue a class dispatches into.
+func (c Class) QueueFor() Queue {
+	switch {
+	case c.IsMem():
+		return QLS
+	case c.UsesFP():
+		return QFP
+	default:
+		return QInt
+	}
+}
+
+// Reg is an architectural register number. Integer and floating-point
+// registers live in separate spaces; NoReg means "no operand".
+type Reg int16
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// NumIntRegs and NumFPRegs are the architectural register counts per
+// hardware context (Alpha-like).
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// MemInfo carries the memory behaviour of a load or store uop, chosen by
+// the workload generator.
+type MemInfo struct {
+	// Addr is the effective virtual byte address.
+	Addr uint64
+}
+
+// BranchInfo carries the actual control-flow outcome of a branch uop.
+type BranchInfo struct {
+	// Taken is the actual direction (always true for Jump/Call/Ret).
+	Taken bool
+	// Target is the actual target PC when taken.
+	Target uint64
+}
+
+// Uop is one dynamic instruction. The workload generator fills in the
+// static fields and outcomes; the pipeline owns the (unexported) timing
+// state it attaches elsewhere.
+type Uop struct {
+	// Seq is the per-thread dynamic sequence number (fetch order,
+	// including wrong-path uops).
+	Seq uint64
+	// PC is the instruction's virtual address.
+	PC uint64
+	// Class is the functional class.
+	Class Class
+	// Dest is the architectural destination register (NoReg if none).
+	// Loads and ALU ops write int or fp regs per class; stores and
+	// branches have no dest.
+	Dest Reg
+	// Src1 and Src2 are architectural source registers (NoReg if unused).
+	Src1 Reg
+	Src2 Reg
+	// Mem is valid when Class.IsMem().
+	Mem MemInfo
+	// Branch is valid when Class.IsBranch().
+	Branch BranchInfo
+	// WrongPath marks uops fetched past a mispredicted branch; they are
+	// squashed when the branch resolves and never commit.
+	WrongPath bool
+}
+
+// HasDest reports whether the uop writes a register.
+func (u *Uop) HasDest() bool { return u.Dest != NoReg }

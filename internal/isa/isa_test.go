@@ -1,0 +1,73 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c               Class
+		branch, mem, fp bool
+		queue           Queue
+	}{
+		{IntALU, false, false, false, QInt},
+		{IntMul, false, false, false, QInt},
+		{FPALU, false, false, true, QFP},
+		{FPMul, false, false, true, QFP},
+		{Load, false, true, false, QLS},
+		{Store, false, true, false, QLS},
+		{CondBranch, true, false, false, QInt},
+		{Jump, true, false, false, QInt},
+		{Call, true, false, false, QInt},
+		{Ret, true, false, false, QInt},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsBranch(); got != tc.branch {
+			t.Errorf("%v.IsBranch() = %v", tc.c, got)
+		}
+		if got := tc.c.IsMem(); got != tc.mem {
+			t.Errorf("%v.IsMem() = %v", tc.c, got)
+		}
+		if got := tc.c.UsesFP(); got != tc.fp {
+			t.Errorf("%v.UsesFP() = %v", tc.c, got)
+		}
+		if got := tc.c.QueueFor(); got != tc.queue {
+			t.Errorf("%v.QueueFor() = %v, want %v", tc.c, got, tc.queue)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if s := c.String(); s == "" || s[0] == 'C' && s != "CondBranch" && s != "Call" {
+			t.Errorf("class %d has suspicious name %q", c, s)
+		}
+	}
+	if s := Class(200).String(); s != "Class(200)" {
+		t.Errorf("unknown class string %q", s)
+	}
+}
+
+func TestQueueStrings(t *testing.T) {
+	want := map[Queue]string{QInt: "int", QFP: "fp", QLS: "ls"}
+	for q, w := range want {
+		if q.String() != w {
+			t.Errorf("queue %d string %q, want %q", q, q.String(), w)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	u := Uop{Dest: NoReg}
+	if u.HasDest() {
+		t.Error("NoReg dest reported as present")
+	}
+	u.Dest = 3
+	if !u.HasDest() {
+		t.Error("dest r3 reported as absent")
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	if NumClasses != 10 {
+		t.Errorf("NumClasses = %d, want 10", NumClasses)
+	}
+}

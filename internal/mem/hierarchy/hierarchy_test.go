@@ -1,0 +1,194 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"dwarn/internal/config"
+)
+
+func newHier(t *testing.T, threads int) *Hierarchy {
+	t.Helper()
+	return New(config.Baseline(), threads)
+}
+
+// prime installs addr's page in the DTLB so timing tests see pure cache
+// behaviour.
+func prime(h *Hierarchy, thread int, addr uint64) {
+	h.DTLB[thread].Access(addr)
+}
+
+func TestLoadL1HitLatency(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x1000)
+	h.L1D.Touch(0x1000)
+	r := h.Load(0, 0x1000, 100)
+	if r.L1Miss || r.CompleteAt != 101 {
+		t.Fatalf("hit: %+v, want complete at 101", r)
+	}
+	if r.Level != LevelL1 {
+		t.Errorf("level %v", r.Level)
+	}
+}
+
+func TestLoadL2HitLatency(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x1000)
+	h.L2.Touch(0x1000)
+	r := h.Load(0, 0x1000, 100)
+	// L1 access (1) + L1→L2 transit (10): data at 111.
+	if !r.L1Miss || r.L2Miss || r.CompleteAt != 111 {
+		t.Fatalf("L2 hit: %+v, want L1 miss completing at 111", r)
+	}
+	if r.Level != LevelL2 {
+		t.Errorf("level %v", r.Level)
+	}
+}
+
+func TestLoadMemoryLatency(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x1000)
+	r := h.Load(0, 0x1000, 100)
+	// 1 + 10 + 100 = data at 211.
+	if !r.L1Miss || !r.L2Miss || r.CompleteAt != 211 {
+		t.Fatalf("memory load: %+v, want completion at 211", r)
+	}
+	if r.Level != LevelMem {
+		t.Errorf("level %v", r.Level)
+	}
+}
+
+func TestTLBMissPenalty(t *testing.T) {
+	h := newHier(t, 1)
+	h.L1D.Touch(0x1000) // line resident, page not mapped
+	r := h.Load(0, 0x1000, 100)
+	if !r.TLBMiss {
+		t.Fatal("no TLB miss on cold page")
+	}
+	// 160 penalty + 1 cycle L1 hit.
+	if r.CompleteAt != 100+160+1 {
+		t.Fatalf("TLB-miss hit completes at %d, want 261", r.CompleteAt)
+	}
+}
+
+func TestMergedMiss(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x1000)
+	first := h.Load(0, 0x1000, 100)
+	second := h.Load(0, 0x1000, 105)
+	if !second.MergedMiss || second.L1Miss {
+		t.Fatalf("second access: %+v, want merged miss", second)
+	}
+	if second.CompleteAt != first.CompleteAt {
+		t.Errorf("merged completion %d, want %d", second.CompleteAt, first.CompleteAt)
+	}
+	if !second.SawMiss() {
+		t.Error("merged miss not reported as a seen miss")
+	}
+	if h.Threads[0].LoadMerged != 1 {
+		t.Errorf("merged counter %d", h.Threads[0].LoadMerged)
+	}
+}
+
+func TestLoadStatsPerThread(t *testing.T) {
+	h := newHier(t, 2)
+	prime(h, 1, 0x5000)
+	h.Load(1, 0x5000, 10)
+	if h.Threads[0].Loads != 0 || h.Threads[1].Loads != 1 {
+		t.Errorf("per-thread loads: %d/%d", h.Threads[0].Loads, h.Threads[1].Loads)
+	}
+	if h.Threads[1].LoadL1Misses != 1 || h.Threads[1].LoadL2Misses != 1 {
+		t.Errorf("miss stats %+v", h.Threads[1])
+	}
+}
+
+func TestStoreWriteAllocate(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x2000)
+	h.Store(0, 0x2000, 10)
+	if h.Threads[0].StoreL1Misses != 1 {
+		t.Error("store miss not counted")
+	}
+	// The store allocated the line; a later load merges or hits.
+	r := h.Load(0, 0x2000, 500)
+	if r.L1Miss {
+		t.Error("load missed after store allocated the line")
+	}
+}
+
+func TestFetchHitAndMiss(t *testing.T) {
+	h := newHier(t, 1)
+	h.L1I.Touch(0x100)
+	if fr := h.Fetch(0, 0x100, 10); fr.Miss || fr.CompleteAt != 10 {
+		t.Fatalf("I-hit: %+v", fr)
+	}
+	fr := h.Fetch(0, 0x4000, 10)
+	if !fr.Miss {
+		t.Fatal("cold I-fetch hit")
+	}
+	// 1 + 10 + 100 for an L2 miss.
+	if fr.CompleteAt != 121 {
+		t.Errorf("I-miss completes at %d, want 121", fr.CompleteAt)
+	}
+	if h.Threads[0].IMisses != 1 || h.Threads[0].IFetches != 2 {
+		t.Errorf("I stats %+v", h.Threads[0])
+	}
+}
+
+func TestFetchDelayedFill(t *testing.T) {
+	h := newHier(t, 1)
+	fr1 := h.Fetch(0, 0x4000, 10)
+	fr2 := h.Fetch(0, 0x4000, 20)
+	if !fr2.Miss || fr2.CompleteAt != fr1.CompleteAt {
+		t.Fatalf("in-flight I-fetch: %+v vs first %+v", fr2, fr1)
+	}
+}
+
+func TestTouchI(t *testing.T) {
+	h := newHier(t, 1)
+	h.TouchI(0x9000)
+	if fr := h.Fetch(0, 0x9000, 5); fr.Miss {
+		t.Error("TouchI did not install the line")
+	}
+}
+
+func TestRatios(t *testing.T) {
+	s := ThreadStats{Loads: 100, LoadL1Misses: 10, LoadL2Misses: 5}
+	if s.LoadL1MissRate() != 0.1 || s.LoadL2MissRate() != 0.05 || s.L1ToL2Ratio() != 0.5 {
+		t.Errorf("ratios %v %v %v", s.LoadL1MissRate(), s.LoadL2MissRate(), s.L1ToL2Ratio())
+	}
+	var empty ThreadStats
+	if empty.LoadL1MissRate() != 0 || empty.L1ToL2Ratio() != 0 {
+		t.Error("empty ratios not zero")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x1000)
+	h.Load(0, 0x1000, 10) // allocates the line
+	h.ResetStats()
+	if h.Threads[0].Loads != 0 {
+		t.Error("stats survived ResetStats")
+	}
+	r := h.Load(0, 0x1000, 5000)
+	if r.L1Miss {
+		t.Error("cache contents lost on ResetStats")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	h := newHier(t, 1)
+	prime(h, 0, 0x1000)
+	h.Load(0, 0x1000, 10)
+	h.Reset()
+	r := h.Load(0, 0x1000, 5000)
+	if !r.L1Miss || !r.TLBMiss {
+		t.Error("state survived full Reset")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelL2.String() != "L2" || LevelMem.String() != "memory" {
+		t.Error("level strings wrong")
+	}
+}

@@ -1,0 +1,494 @@
+package pipeline
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dwarn/internal/bpred"
+	"dwarn/internal/config"
+	"dwarn/internal/isa"
+	"dwarn/internal/mem/hierarchy"
+	"dwarn/internal/workload"
+)
+
+// CPUStats aggregates whole-core counters for a measurement interval.
+type CPUStats struct {
+	Cycles int64
+}
+
+// CPU is one simulated SMT core running a fixed set of threads under a
+// fetch policy. It is not safe for concurrent use; run one CPU per
+// goroutine.
+type CPU struct {
+	cfg    *config.Processor
+	policy FetchPolicy
+	mem    *hierarchy.Hierarchy
+	bp     *bpred.Predictor
+
+	threads []*thread
+
+	now    int64
+	ageCtr uint64
+	evSeq  uint64
+	events eventHeap
+
+	// Shared physical register files: free lists and ready bits.
+	intFree  []int32
+	fpFree   []int32
+	intReady []bool
+	fpReady  []bool
+
+	// Shared issue queues.
+	queues [isa.NumQueues][]*DynInst
+	qCap   [isa.NumQueues]int
+
+	// Scratch buffers reused across cycles.
+	prioBuf  []int
+	readyBuf []*DynInst
+
+	// dispatchOrder is the front-end thread order for this cycle: the
+	// policy's fetch priority with any omitted (gated) threads at the
+	// end. The in-order front end is a unit — a thread the policy has
+	// deprioritised should not push buffered instructions into the
+	// shared queues ahead of preferred threads.
+	dispatchOrder []int
+
+	// lastCommitAt backs the livelock detector.
+	lastCommitAt int64
+
+	// Stats for the current measurement interval.
+	Stats CPUStats
+}
+
+// New builds a CPU running one thread per generator under the given
+// policy. len(gens) must not exceed cfg.HardwareContexts.
+func New(cfg *config.Processor, policy FetchPolicy, gens []*workload.Generator) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("pipeline: need at least one thread")
+	}
+	if len(gens) > cfg.HardwareContexts {
+		return nil, fmt.Errorf("pipeline: %d threads exceed %d hardware contexts", len(gens), cfg.HardwareContexts)
+	}
+	n := len(gens)
+	c := &CPU{
+		cfg:    cfg,
+		policy: policy,
+		mem:    hierarchy.New(cfg, n),
+		bp:     bpred.New(cfg.Bpred, n),
+		now:    1,
+	}
+	c.qCap[isa.QInt] = cfg.IntQueueSize
+	c.qCap[isa.QFP] = cfg.FPQueueSize
+	c.qCap[isa.QLS] = cfg.LSQueueSize
+
+	// Physical registers: each running context permanently holds its 32
+	// architectural mappings; the remainder forms the shared rename pool.
+	c.intReady = make([]bool, cfg.PhysIntRegs)
+	c.fpReady = make([]bool, cfg.PhysFPRegs)
+	c.threads = make([]*thread, n)
+	for i, g := range gens {
+		t := &thread{id: i, gen: g}
+		for a := 0; a < isa.NumIntRegs; a++ {
+			p := int32(i*isa.NumIntRegs + a)
+			t.intMap[a] = p
+			c.intReady[p] = true
+		}
+		for a := 0; a < isa.NumFPRegs; a++ {
+			p := int32(i*isa.NumFPRegs + a)
+			t.fpMap[a] = p
+			c.fpReady[p] = true
+		}
+		c.threads[i] = t
+	}
+	for p := int32(n * isa.NumIntRegs); p < int32(cfg.PhysIntRegs); p++ {
+		c.intFree = append(c.intFree, p)
+	}
+	for p := int32(n * isa.NumFPRegs); p < int32(cfg.PhysFPRegs); p++ {
+		c.fpFree = append(c.fpFree, p)
+	}
+
+	policy.Attach(c)
+	return c, nil
+}
+
+// Config returns the machine description.
+func (c *CPU) Config() *config.Processor { return c.cfg }
+
+// Mem returns the memory hierarchy (read access for experiments/tests).
+func (c *CPU) Mem() *hierarchy.Hierarchy { return c.mem }
+
+// Bpred returns the branch predictor (read access for experiments/tests).
+func (c *CPU) Bpred() *bpred.Predictor { return c.bp }
+
+// Policy returns the attached fetch policy.
+func (c *CPU) Policy() FetchPolicy { return c.policy }
+
+// NumThreads returns the number of running hardware contexts.
+func (c *CPU) NumThreads() int { return len(c.threads) }
+
+// Now returns the current cycle.
+func (c *CPU) Now() int64 { return c.now }
+
+// PreIssueCount returns the number of thread t's instructions in the
+// front end and issue queues — the ICOUNT priority input.
+func (c *CPU) PreIssueCount(t int) int {
+	th := c.threads[t]
+	return len(th.feq) + th.inQueues
+}
+
+// L1DMissInFlight returns thread t's outstanding L1 data-miss count —
+// the hardware counter DWarn and DG consult.
+func (c *CPU) L1DMissInFlight(t int) int { return c.threads[t].l1MissInFlight }
+
+// ROBOccupancy returns the number of in-flight instructions in thread
+// t's reorder buffer.
+func (c *CPU) ROBOccupancy(t int) int { return len(c.threads[t].rob) }
+
+// ThreadStats returns a copy of thread t's counters for the current
+// measurement interval.
+func (c *CPU) ThreadStats(t int) ThreadStats { return c.threads[t].stats }
+
+// ResetStats zeroes all measurement counters (pipeline, memory,
+// predictor) while preserving microarchitectural state, so measurement
+// starts from a warmed-up machine.
+func (c *CPU) ResetStats() {
+	c.Stats = CPUStats{}
+	for _, t := range c.threads {
+		t.stats = ThreadStats{}
+	}
+	c.mem.ResetStats()
+	for i := range c.bp.Stats {
+		c.bp.Stats[i] = bpred.Stats{}
+	}
+	c.lastCommitAt = c.now
+}
+
+func (c *CPU) schedule(at int64, kind evKind, inst *DynInst) {
+	c.evSeq++
+	heap.Push(&c.events, event{at: at, seq: c.evSeq, kind: kind, inst: inst})
+}
+
+// allocReg pops a free physical register for the given space, returning
+// -1 if none is available.
+func (c *CPU) allocReg(fp bool) int32 {
+	if fp {
+		if n := len(c.fpFree); n > 0 {
+			p := c.fpFree[n-1]
+			c.fpFree = c.fpFree[:n-1]
+			return p
+		}
+		return -1
+	}
+	if n := len(c.intFree); n > 0 {
+		p := c.intFree[n-1]
+		c.intFree = c.intFree[:n-1]
+		return p
+	}
+	return -1
+}
+
+func (c *CPU) freeReg(fp bool, p int32) {
+	if fp {
+		c.fpFree = append(c.fpFree, p)
+	} else {
+		c.intFree = append(c.intFree, p)
+	}
+}
+
+// FreeIntRegs and FreeFPRegs report rename-pool headroom (observability
+// for tests and resource-aware policies).
+func (c *CPU) FreeIntRegs() int { return len(c.intFree) }
+func (c *CPU) FreeFPRegs() int  { return len(c.fpFree) }
+
+// QueueLen returns the current occupancy of issue queue q.
+func (c *CPU) QueueLen(q isa.Queue) int { return len(c.queues[q]) }
+
+// usesFPRegs reports which register space an instruction's operands live
+// in (the synthetic ISA never mixes spaces within one instruction).
+func usesFPRegs(class isa.Class) bool { return class.UsesFP() }
+
+// regReady reports whether physical register p of the given space holds
+// a value.
+func (c *CPU) regReady(fp bool, p int32) bool {
+	if p < 0 {
+		return true
+	}
+	if fp {
+		return c.fpReady[p]
+	}
+	return c.intReady[p]
+}
+
+func (c *CPU) setRegReady(fp bool, p int32) {
+	if p < 0 {
+		return
+	}
+	if fp {
+		c.fpReady[p] = true
+	} else {
+		c.intReady[p] = true
+	}
+}
+
+// FlushAfter squashes every instruction of inst's thread younger than
+// inst, queueing the squashed correct-path instructions for re-fetch.
+// It implements the FLUSH policy's response action; the offending load
+// itself survives. It returns the number of squashed instructions.
+func (c *CPU) FlushAfter(inst *DynInst) int {
+	if inst.Squashed() {
+		return 0
+	}
+	t := c.threads[inst.Thread]
+	n := c.squashYounger(t, inst.Age, true)
+	t.stats.FlushSquashed += uint64(n)
+	return n
+}
+
+// squashYounger removes every instruction of t younger than age from the
+// pipeline. When replay is true (policy flush) the squashed correct-path
+// uops are queued for re-fetch in program order; when false (branch
+// misprediction) they are dropped. Returns the number squashed.
+func (c *CPU) squashYounger(t *thread, age uint64, replay bool) int {
+	wasWP := t.wrongPath
+	// A peeked-but-unfetched uop must not leak: push a correct-path one
+	// back onto the replay queue (it is younger than everything being
+	// squashed, so it belongs behind them), drop a wrong-path one.
+	t.dropPeek(wasWP)
+
+	count := 0
+	var oldestBranch *DynInst
+	var replayBuf []isa.Uop
+
+	note := func(d *DynInst) {
+		count++
+		if d.U.Class.IsBranch() && !d.U.WrongPath {
+			if oldestBranch == nil || d.Age < oldestBranch.Age {
+				oldestBranch = d
+			}
+		}
+		if d.U.Class == isa.Load {
+			// Policies tracking this load (miss counters, PDG's
+			// predicted-miss count) rebalance here.
+			c.policy.OnSquash(d, c.now)
+		}
+		if replay && !d.U.WrongPath {
+			replayBuf = append(replayBuf, d.U)
+		}
+	}
+
+	// Front-end queue first (all entries are younger than any dispatched
+	// instruction, but guard on age anyway); keep survivors in order.
+	if len(t.feq) > 0 {
+		kept := t.feq[:0]
+		for _, d := range t.feq {
+			if d.Age > age {
+				d.state = stSquashed
+				note(d)
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		t.feq = kept
+	}
+
+	// ROB tail walk: undo renaming youngest-first so the map ends up at
+	// its pre-squash state.
+	cut := len(t.rob)
+	for cut > 0 && t.rob[cut-1].Age > age {
+		d := t.rob[cut-1]
+		cut--
+		c.squashInFlight(t, d)
+		note(d)
+	}
+	t.rob = t.rob[:cut]
+
+	// Replay queue order: squashed uops are older than whatever was
+	// already queued (including the peeked uop pushed above), so they go
+	// in front. Correct-path uops of one thread have strictly increasing
+	// Seq, which is exactly program order.
+	if replay && len(replayBuf) > 0 {
+		sortUopsBySeq(replayBuf)
+		ordered := make([]isa.Uop, 0, len(replayBuf)+len(t.replay))
+		ordered = append(ordered, replayBuf...)
+		ordered = append(ordered, t.replay...)
+		t.replay = ordered
+	}
+
+	// Restore speculative predictor state to the oldest squashed branch.
+	if oldestBranch != nil {
+		c.bp.Restore(t.id, oldestBranch.Pred.Before)
+	}
+
+	// If the unresolved mispredicted branch died, leave wrong-path mode:
+	// fetch resumes from the replay queue / generator.
+	if t.pendingBranch != nil && t.pendingBranch.Age > age {
+		t.pendingBranch = nil
+		t.wrongPath = false
+	}
+	return count
+}
+
+// squashInFlight tears down one dispatched instruction: issue-queue
+// slot, rename mapping, physical register, and the thread's in-flight
+// miss counter.
+func (c *CPU) squashInFlight(t *thread, d *DynInst) {
+	if d.state == stInQueue {
+		t.inQueues--
+		// The queue slice is compacted lazily at the next issue phase.
+	}
+	if d.U.Class == isa.Load && d.missCounted {
+		t.l1MissInFlight--
+		d.missCounted = false
+	}
+	if d.destPhys >= 0 {
+		fp := usesFPRegs(d.U.Class)
+		// Restore the previous mapping and recycle the register.
+		arch := d.U.Dest
+		if fp {
+			t.fpMap[arch] = d.prevPhys
+		} else {
+			t.intMap[arch] = d.prevPhys
+		}
+		c.freeReg(fp, d.destPhys)
+		d.destPhys = -1
+	}
+	d.state = stSquashed
+}
+
+// sortUopsBySeq sorts by dynamic sequence number (program order for
+// correct-path uops of a single thread). Insertion sort: squash batches
+// are small and mostly ordered.
+func sortUopsBySeq(us []isa.Uop) {
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j].Seq < us[j-1].Seq; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}
+
+// DumpState renders a diagnostic snapshot of the pipeline for debugging
+// and livelock reports.
+func (c *CPU) DumpState() string {
+	s := fmt.Sprintf("cycle %d: freeInt=%d freeFP=%d q[int]=%d q[fp]=%d q[ls]=%d events=%d\n",
+		c.now, len(c.intFree), len(c.fpFree),
+		len(c.queues[0]), len(c.queues[1]), len(c.queues[2]), len(c.events))
+	for _, t := range c.threads {
+		s += fmt.Sprintf("  t%d: feq=%d rob=%d inQ=%d missInFlight=%d wrongPath=%v replay=%d icacheReadyAt=%d redirectAt=%d\n",
+			t.id, len(t.feq), len(t.rob), t.inQueues, t.l1MissInFlight, t.wrongPath, len(t.replay), t.icacheReadyAt, t.redirectAt)
+		if len(t.rob) > 0 {
+			d := t.rob[0]
+			s += fmt.Sprintf("      robHead: class=%v state=%d age=%d seq=%d wp=%v completeAt=%d pc=%x\n",
+				d.U.Class, d.state, d.Age, d.U.Seq, d.U.WrongPath, d.completeAt, d.U.PC)
+		}
+		if len(t.feq) > 0 {
+			d := t.feq[0]
+			s += fmt.Sprintf("      feqHead: class=%v state=%d age=%d readyAt=%d\n", d.U.Class, d.state, d.Age, d.frontEndReadyAt)
+		}
+	}
+	return s
+}
+
+// CheckInvariants validates the resource-accounting invariants the
+// squash/flush/commit machinery must preserve. Tests call it after
+// arbitrary run prefixes; a violation indicates a leak (registers,
+// queue slots, miss counters) that would silently skew results.
+func (c *CPU) CheckInvariants() error {
+	// Physical registers: every architecturally mapped register and
+	// every in-flight destination must be live exactly once; together
+	// with the free lists they must account for the whole file.
+	intLive := make(map[int32]string)
+	fpLive := make(map[int32]string)
+	claim := func(m map[int32]string, p int32, who string) error {
+		if p < 0 {
+			return nil
+		}
+		if prev, ok := m[p]; ok {
+			return fmt.Errorf("pipeline: phys reg %d claimed by both %s and %s", p, prev, who)
+		}
+		m[p] = who
+		return nil
+	}
+	for _, t := range c.threads {
+		for a, p := range t.intMap {
+			if err := claim(intLive, p, fmt.Sprintf("t%d intMap[r%d]", t.id, a)); err != nil {
+				return err
+			}
+		}
+		for a, p := range t.fpMap {
+			if err := claim(fpLive, p, fmt.Sprintf("t%d fpMap[f%d]", t.id, a)); err != nil {
+				return err
+			}
+		}
+		for _, d := range t.rob {
+			if d.destPhys < 0 {
+				continue
+			}
+			m := intLive
+			if usesFPRegs(d.U.Class) {
+				m = fpLive
+			}
+			// The current mapping for the dest arch reg is the youngest
+			// writer's reg; older in-flight writers hold regs not in
+			// any map. Either way the reg must not be free.
+			if _, mapped := m[d.destPhys]; !mapped {
+				if err := claim(m, d.destPhys, fmt.Sprintf("t%d rob seq %d", t.id, d.U.Seq)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, p := range c.intFree {
+		if who, ok := intLive[p]; ok {
+			return fmt.Errorf("pipeline: int reg %d both free and live (%s)", p, who)
+		}
+		intLive[p] = "free"
+	}
+	for _, p := range c.fpFree {
+		if who, ok := fpLive[p]; ok {
+			return fmt.Errorf("pipeline: fp reg %d both free and live (%s)", p, who)
+		}
+		fpLive[p] = "free"
+	}
+
+	// Issue queues: per-thread inQueues must match the queue contents,
+	// and no queue may exceed its capacity.
+	inQ := make([]int, len(c.threads))
+	for q := range c.queues {
+		live := 0
+		for _, d := range c.queues[q] {
+			if d.state == stInQueue {
+				inQ[d.Thread]++
+				live++
+			}
+		}
+		if live > c.qCap[q] {
+			return fmt.Errorf("pipeline: queue %d holds %d live entries, capacity %d", q, live, c.qCap[q])
+		}
+	}
+	for _, t := range c.threads {
+		if t.inQueues != inQ[t.id] {
+			return fmt.Errorf("pipeline: t%d inQueues=%d but queues hold %d", t.id, t.inQueues, inQ[t.id])
+		}
+		if t.l1MissInFlight < 0 {
+			return fmt.Errorf("pipeline: t%d negative miss counter %d", t.id, t.l1MissInFlight)
+		}
+		if len(t.rob) > c.cfg.ROBSizePerThread {
+			return fmt.Errorf("pipeline: t%d ROB %d exceeds %d", t.id, len(t.rob), c.cfg.ROBSizePerThread)
+		}
+		// ROB must be in age order with no squashed entries.
+		for i := 1; i < len(t.rob); i++ {
+			if t.rob[i].Age <= t.rob[i-1].Age {
+				return fmt.Errorf("pipeline: t%d ROB out of order at %d", t.id, i)
+			}
+		}
+		for _, d := range t.rob {
+			if d.state == stSquashed || d.state == stCommitted {
+				return fmt.Errorf("pipeline: t%d ROB holds %v entry", t.id, d.state)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package pipeline implements the SMT out-of-order core: an ICOUNT-style
+// x.y fetch engine with pluggable fetch policies, a fixed-latency front
+// end, per-thread renaming onto shared physical register files, shared
+// issue queues, oldest-first out-of-order issue over limited functional
+// units, per-thread reorder buffers, and full squash/replay support for
+// branch mispredictions and policy-initiated flushes (the FLUSH policy).
+//
+// The model follows the paper's Table 3 machine and its simulator
+// conventions: wrong-path instructions are fetched, renamed, and
+// executed; the fetch unit learns of an L1 data miss 5 cycles after the
+// load was fetched; latencies assume no bank conflicts.
+package pipeline
+
+import (
+	"dwarn/internal/bpred"
+	"dwarn/internal/isa"
+	"dwarn/internal/mem/hierarchy"
+)
+
+// instState tracks a dynamic instruction through the pipeline.
+type instState uint8
+
+const (
+	stFrontEnd  instState = iota // fetched, traversing decode/rename delay
+	stInQueue                    // waiting in an issue queue
+	stExecuting                  // issued, result pending
+	stDone                       // result available, awaiting commit
+	stCommitted
+	stSquashed
+)
+
+// DynInst is one in-flight dynamic instruction.
+type DynInst struct {
+	U      isa.Uop
+	Thread int
+	// Age is the global fetch order, used for oldest-first issue
+	// arbitration and squash ordering.
+	Age uint64
+
+	state instState
+
+	// Rename state: physical register indices, -1 when absent.
+	destPhys int32
+	prevPhys int32
+	src1Phys int32
+	src2Phys int32
+
+	// frontEndReadyAt is the cycle the uop may leave the front end.
+	frontEndReadyAt int64
+	// completeAt is the cycle the result becomes available.
+	completeAt int64
+
+	// Pred is the front end's prediction for branch uops.
+	Pred bpred.Prediction
+
+	// MemRes is the memory system's timing verdict for loads/stores,
+	// valid once the uop has issued.
+	MemRes hierarchy.DataResult
+
+	// missCounted tracks whether this load incremented its thread's
+	// in-flight L1-miss counter (so squash/complete decrement exactly
+	// once).
+	missCounted bool
+
+	// PredictedMiss is scratch state for the PDG policy: the L1-miss
+	// prediction made at fetch.
+	PredictedMiss bool
+	// PolicyCounted is scratch state for policies that count this load
+	// in a gating counter and must decrement on return/squash.
+	PolicyCounted bool
+}
+
+// Squashed reports whether the instruction has been squashed.
+func (d *DynInst) Squashed() bool { return d.state == stSquashed }
+
+// Done reports whether the result is available.
+func (d *DynInst) Done() bool { return d.state >= stDone }
+
+// CompleteAt returns the cycle the instruction's result is (or will be)
+// available; valid once issued.
+func (d *DynInst) CompleteAt() int64 { return d.completeAt }
+
+// event kinds, processed at the top of each cycle.
+type evKind uint8
+
+const (
+	// evComplete: the instruction's result is available (ALU latency
+	// elapsed, load data arrived, store left the AGU).
+	evComplete evKind = iota
+	// evLoadAccess: the load's D-cache access happens now; policies are
+	// told about L1/TLB outcomes.
+	evLoadAccess
+	// evL2Miss: the L2 tag check failed now (true L2-miss detection,
+	// used by DWarn's hybrid gate).
+	evL2Miss
+	// evLoadReturning: the 2-cycle advance indication that load data is
+	// coming back (used by STALL/FLUSH/DWarn to release gates early).
+	evLoadReturning
+	// evBranchResolve: the branch executes now; mispredictions squash.
+	evBranchResolve
+)
+
+type event struct {
+	at   int64
+	seq  uint64
+	kind evKind
+	inst *DynInst
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

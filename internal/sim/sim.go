@@ -1,0 +1,199 @@
+// Package sim assembles a complete simulation — machine configuration,
+// fetch policy, synthetic workload — and runs the paper's measurement
+// protocol: warm up the microarchitectural state, reset the counters,
+// measure for a fixed number of cycles.
+package sim
+
+import (
+	"fmt"
+
+	"dwarn/internal/bpred"
+	"dwarn/internal/config"
+	"dwarn/internal/core"
+	"dwarn/internal/mem/hierarchy"
+	"dwarn/internal/pipeline"
+	"dwarn/internal/workload"
+)
+
+// DefaultSeed makes every experiment reproducible by default.
+const DefaultSeed = 42
+
+// Options selects what to simulate and for how long.
+type Options struct {
+	// Config is the machine; nil means config.Baseline().
+	Config *config.Processor
+	// Policy is a registry name ("icount", "stall", "flush", "dg",
+	// "pdg", "dwarn", "dwarn-prio"). Ignored if PolicyInstance is set.
+	Policy string
+	// PolicyInstance overrides Policy with a pre-built policy (used for
+	// threshold sweeps).
+	PolicyInstance pipeline.FetchPolicy
+	// Workload is the multiprogrammed workload to run.
+	Workload workload.Workload
+	// Seed drives all synthetic randomness; 0 means DefaultSeed.
+	Seed uint64
+	// WarmupCycles and MeasureCycles control the protocol; zero values
+	// take the defaults (20k warmup, 100k measured).
+	WarmupCycles  int64
+	MeasureCycles int64
+}
+
+// Default run lengths: long enough that IPCs are stable to within a few
+// percent (the mid/far regions complete several laps; the predictor and
+// caches reach steady state), short enough that the full paper grid
+// runs in minutes.
+const (
+	DefaultWarmupCycles  = 20_000
+	DefaultMeasureCycles = 100_000
+)
+
+// ThreadResult carries one thread's measured behaviour.
+type ThreadResult struct {
+	// Benchmark is the synthetic program name.
+	Benchmark string
+	// IPC is committed instructions per cycle.
+	IPC float64
+	// Pipeline counters for the measurement interval.
+	Pipeline pipeline.ThreadStats
+	// Mem is the memory system's view (loads, misses, TLB).
+	Mem hierarchy.ThreadStats
+	// Bpred is the predictor's view.
+	Bpred bpred.Stats
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Workload and Policy identify the run.
+	Workload string
+	Policy   string
+	Machine  string
+	// Cycles measured.
+	Cycles int64
+	// Threads holds per-thread results in workload order.
+	Threads []ThreadResult
+	// Throughput is the sum of per-thread IPCs.
+	Throughput float64
+}
+
+// IPCs returns the per-thread IPC vector.
+func (r *Result) IPCs() []float64 {
+	out := make([]float64, len(r.Threads))
+	for i, t := range r.Threads {
+		out[i] = t.IPC
+	}
+	return out
+}
+
+// FlushedFraction returns policy-flushed instructions as a fraction of
+// all fetched instructions (the paper's Figure 2 metric). Zero when
+// nothing was fetched.
+func (r *Result) FlushedFraction() float64 {
+	var flushed, fetched uint64
+	for _, t := range r.Threads {
+		flushed += t.Pipeline.FlushSquashed
+		fetched += t.Pipeline.Fetched
+	}
+	if fetched == 0 {
+		return 0
+	}
+	return float64(flushed) / float64(fetched)
+}
+
+// Run executes one simulation.
+func Run(opts Options) (*Result, error) {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = config.Baseline()
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	warmup := opts.WarmupCycles
+	if warmup == 0 {
+		warmup = DefaultWarmupCycles
+	}
+	measure := opts.MeasureCycles
+	if measure == 0 {
+		measure = DefaultMeasureCycles
+	}
+
+	pol := opts.PolicyInstance
+	if pol == nil {
+		var err error
+		pol, err = core.NewPolicy(opts.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	gens, err := opts.Workload.Generators(seed)
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := pipeline.New(cfg, pol, gens)
+	if err != nil {
+		return nil, err
+	}
+
+	prewarm(cpu, gens)
+	cpu.Run(warmup)
+	cpu.ResetStats()
+	cpu.Run(measure)
+
+	res := &Result{
+		Workload: opts.Workload.Name,
+		Policy:   pol.Name(),
+		Machine:  cfg.Name,
+		Cycles:   cpu.Stats.Cycles,
+		Threads:  make([]ThreadResult, cpu.NumThreads()),
+	}
+	for i := range res.Threads {
+		ps := cpu.ThreadStats(i)
+		res.Threads[i] = ThreadResult{
+			Benchmark: opts.Workload.Benchmarks[i],
+			IPC:       ps.IPC(res.Cycles),
+			Pipeline:  ps,
+			Mem:       cpu.Mem().Threads[i],
+			Bpred:     cpu.Bpred().Stats[i],
+		}
+		res.Throughput += res.Threads[i].IPC
+	}
+	return res, nil
+}
+
+// SoloWorkload wraps a single benchmark as a one-thread workload (used
+// for Table 2a and for relative-IPC baselines).
+func SoloWorkload(bench string) workload.Workload {
+	return workload.Workload{
+		Name:       "solo-" + bench,
+		Threads:    1,
+		Mix:        workload.MixILP,
+		Benchmarks: []string{bench},
+	}
+}
+
+// RunSolo measures one benchmark alone under ICOUNT on cfg — the
+// denominator of the paper's relative-IPC metric.
+func RunSolo(cfg *config.Processor, bench string, seed uint64, warmup, measure int64) (*Result, error) {
+	return Run(Options{
+		Config:        cfg,
+		Policy:        "icount",
+		Workload:      SoloWorkload(bench),
+		Seed:          seed,
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+	})
+}
+
+// String renders a short human-readable summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s/%s on %s: throughput %.3f IPC over %d cycles [", r.Policy, r.Workload, r.Machine, r.Throughput, r.Cycles)
+	for i, t := range r.Threads {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.3f", t.Benchmark, t.IPC)
+	}
+	return s + "]"
+}

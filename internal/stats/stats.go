@@ -1,0 +1,109 @@
+// Package stats implements the evaluation metrics the paper uses:
+// throughput (sum of per-thread IPCs), relative IPC against a
+// single-threaded run of the same machine, the harmonic mean of
+// relative IPCs (Luo et al.'s throughput-fairness balance, the paper's
+// second metric), and weighted speedup (used by Tullsen & Brown, shown
+// for completeness).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Throughput returns the sum of per-thread IPCs.
+func Throughput(ipcs []float64) float64 {
+	var sum float64
+	for _, v := range ipcs {
+		sum += v
+	}
+	return sum
+}
+
+// RelativeIPCs divides each thread's multithreaded IPC by its
+// single-threaded IPC on the same machine. The slices must be the same
+// length and solo IPCs must be positive.
+func RelativeIPCs(smt, solo []float64) ([]float64, error) {
+	if len(smt) != len(solo) {
+		return nil, fmt.Errorf("stats: %d SMT IPCs vs %d solo IPCs", len(smt), len(solo))
+	}
+	rel := make([]float64, len(smt))
+	for i := range smt {
+		if solo[i] <= 0 {
+			return nil, fmt.Errorf("stats: thread %d solo IPC %.4f not positive", i, solo[i])
+		}
+		rel[i] = smt[i] / solo[i]
+	}
+	return rel, nil
+}
+
+// Hmean returns the harmonic mean of the relative IPCs: n / Σ(1/x_i).
+// A zero entry yields 0 (a fully starved thread zeroes the metric,
+// which is the intended fairness property).
+func Hmean(rel []float64) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, v := range rel {
+		if v <= 0 {
+			return 0
+		}
+		inv += 1 / v
+	}
+	return float64(len(rel)) / inv
+}
+
+// WeightedSpeedup returns the arithmetic mean of relative IPCs
+// (Snavely & Tullsen's symbiosis metric as used in the FLUSH paper).
+func WeightedSpeedup(rel []float64) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range rel {
+		sum += v
+	}
+	return sum / float64(len(rel))
+}
+
+// Improvement returns the percentage improvement of a over b:
+// 100*(a-b)/b. Used for every "X improvement of DWarn over POLICY" bar
+// in the paper's figures.
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (a - b) / b
+}
+
+// GeoMean returns the geometric mean of positive values; zero or
+// negative values yield 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range xs {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}

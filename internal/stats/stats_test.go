@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput([]float64{1, 2, 0.5}); got != 3.5 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if Throughput(nil) != 0 {
+		t.Error("empty throughput not 0")
+	}
+}
+
+func TestRelativeIPCs(t *testing.T) {
+	rel, err := RelativeIPCs([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel[0] != 0.5 || rel[1] != 1 {
+		t.Errorf("rel = %v", rel)
+	}
+}
+
+func TestRelativeIPCsErrors(t *testing.T) {
+	if _, err := RelativeIPCs([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RelativeIPCs([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero solo accepted")
+	}
+}
+
+func TestHmean(t *testing.T) {
+	if got := Hmean([]float64{1, 1}); got != 1 {
+		t.Errorf("Hmean(1,1) = %v", got)
+	}
+	// Harmonic mean of 0.5 and 1: 2/(2+1) = 0.667.
+	if got := Hmean([]float64{0.5, 1}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Hmean = %v", got)
+	}
+	if Hmean(nil) != 0 {
+		t.Error("empty hmean not 0")
+	}
+	if Hmean([]float64{0.5, 0}) != 0 {
+		t.Error("zero entry must zero the hmean")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	if got := WeightedSpeedup([]float64{0.5, 1.5}); got != 1 {
+		t.Errorf("WeightedSpeedup = %v", got)
+	}
+	if WeightedSpeedup(nil) != 0 {
+		t.Error("empty weighted speedup not 0")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(1.1, 1.0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Improvement = %v", got)
+	}
+	if got := Improvement(0.9, 1.0); math.Abs(got+10) > 1e-9 {
+		t.Errorf("Improvement = %v", got)
+	}
+	if Improvement(0, 0) != 0 {
+		t.Error("0/0 improvement not 0")
+	}
+	if !math.IsInf(Improvement(1, 0), 1) {
+		t.Error("x/0 improvement not +inf")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("zero entry geomean not 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean not 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+}
+
+func TestQuickHmeanAtMostMean(t *testing.T) {
+	f := func(xs []float64) bool {
+		var pos []float64
+		for _, x := range xs {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e9 {
+				pos = append(pos, x)
+			}
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		return Hmean(pos) <= Mean(pos)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHmeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x := float64(a)/65535 + 0.001
+		y := float64(b)/65535 + 0.001
+		h := Hmean([]float64{x, y})
+		lo, hi := math.Min(x, y), math.Max(x, y)
+		return h >= lo-1e-9 && h <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+package workload
+
+import (
+	"fmt"
+
+	"dwarn/internal/isa"
+	"dwarn/internal/rng"
+)
+
+// Virtual address space layout per generator instance. Threads receive
+// disjoint bases, so cross-thread interference happens only through
+// shared cache capacity and set conflicts (low index bits), as on real
+// SMT hardware.
+const (
+	codeOffset = 0x0000_0000
+	hotOffset  = 0x1000_0000
+	midOffset  = 0x2000_0000
+	farOffset  = 0x4000_0000
+	farRegion  = 1 << 30 // far stream wraps after 1 GiB (never, in practice)
+	lineBytes  = 64
+)
+
+// Generator produces the dynamic instruction stream for one thread: the
+// correct path by walking the synthetic CFG, and — on demand — a
+// deterministic wrong-path stream for fetches past a mispredicted
+// branch.
+type Generator struct {
+	prof *Profile
+	prog *program
+	r    *rng.Source
+	base uint64
+
+	// Correct-path walker state.
+	walk      *walker
+	curSlot   int
+	seq       uint64
+	intWrites uint64
+	fpWrites  uint64
+	midCursor uint64
+	farCursor uint64
+
+	// Region mixture actually used for dynamic accesses.
+	farW, midW   float64
+	sFarW, sMidW float64
+	loadAdj      regionAdjust
+	storeAdj     regionAdjust
+
+	// Wrong-path stream state (separate RNG; never advances the walker).
+	wpR         *rng.Source
+	wpPC        uint64
+	wpSeq       uint64
+	wpIntWrites uint64
+	wpFPWrites  uint64
+}
+
+// NewGenerator builds the synthetic benchmark prof at the given address
+// base. The same (prof, seed, base) always yields the same stream.
+func NewGenerator(prof *Profile, seed, base uint64) *Generator {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	root := rng.New(seed)
+	progR := root.Split(1)
+	walkR := root.Split(2)
+	prog := buildProgram(prof, progR)
+	g := &Generator{
+		prof: prof,
+		prog: prog,
+		r:    walkR,
+		base: base,
+		wpR:  rng.New(seed), // reseeded per wrong-path episode
+	}
+	g.farW = prof.L2MissRate / homeFidelity
+	g.midW = (prof.L1MissRate - prof.L2MissRate) / homeFidelity
+	if g.farW+g.midW > 1 {
+		s := g.farW + g.midW
+		g.farW /= s
+		g.midW /= s
+	}
+	g.sFarW = g.farW * prof.StoreMissScale
+	g.sMidW = g.midW * prof.StoreMissScale
+	g.loadAdj, g.storeAdj = prog.assignHomes(prof, progR, g.farW, g.midW, g.sFarW, g.sMidW)
+	g.walk = newWalker(prog)
+	return g
+}
+
+// Profile returns the benchmark profile driving this generator.
+func (g *Generator) Profile() *Profile { return g.prof }
+
+// StartPC is the first instruction's address.
+func (g *Generator) StartPC() uint64 { return g.blockPC(0) }
+
+// blockPC returns the address of the first instruction of block b.
+func (g *Generator) blockPC(b int32) uint64 {
+	return g.base + codeOffset + uint64(g.prog.blocks[b].first)*4
+}
+
+// slotPC returns the address of slot s in block b.
+func (g *Generator) slotPC(b, s int) uint64 {
+	return g.base + codeOffset + uint64(g.prog.blocks[b].first+s)*4
+}
+
+// Next produces the next correct-path uop. The caller must consume the
+// stream strictly in fetch order; a fetch policy that squashes and
+// re-fetches (FLUSH) must buffer and replay uops itself rather than
+// asking the generator to rewind.
+func (g *Generator) Next() isa.Uop {
+	cur := g.walk.cur
+	blk := g.prog.blocks[cur]
+	slot := g.curSlot
+	st := g.prog.insts[blk.first+slot]
+
+	u := isa.Uop{
+		Seq:   g.seq,
+		PC:    g.slotPC(int(cur), slot),
+		Class: st.class,
+	}
+	g.seq++
+	g.fillOperands(&u)
+
+	switch {
+	case st.class.IsMem():
+		u.Mem.Addr = g.dataAddr(st.class, st.region)
+	case st.class.IsBranch():
+		g.resolveBranch(&u, &g.prog.insts[blk.first+slot], blk.first+slot)
+		g.curSlot = 0
+		return u
+	}
+
+	// Advance within the block (every block ends in a terminator, so a
+	// non-branch slot is never the last one).
+	g.curSlot = slot + 1
+	return u
+}
+
+// resolveBranch samples the branch outcome, fills u.Branch, and moves
+// the walker to the successor block.
+func (g *Generator) resolveBranch(u *isa.Uop, st *staticInst, slot int) {
+	u.Branch.Taken = true
+	switch st.class {
+	case isa.CondBranch:
+		taken := g.walk.condTaken(st, slot, g.r)
+		u.Branch.Taken = taken
+		u.Branch.Target = g.blockPC(st.target)
+		g.walk.advance(st, taken, g.r)
+	case isa.Jump, isa.Call:
+		u.Branch.Target = g.blockPC(st.target)
+		g.walk.advance(st, true, g.r)
+	case isa.Ret:
+		tgt, ok := g.walk.retTarget()
+		if !ok {
+			tgt = g.prog.entryLevel0(g.r)
+		}
+		u.Branch.Target = g.blockPC(tgt)
+		g.walk.advanceTo(tgt)
+	}
+}
+
+// fillOperands assigns destination and source architectural registers
+// using the round-robin-writer / geometric-distance dependency model.
+func (g *Generator) fillOperands(u *isa.Uop) {
+	u.Dest, u.Src1, u.Src2 = isa.NoReg, isa.NoReg, isa.NoReg
+	switch u.Class {
+	case isa.IntALU, isa.IntMul:
+		u.Src1 = g.intSrc(g.r, g.intWrites)
+		if g.r.Bool(g.prof.TwoSrcFrac) {
+			u.Src2 = g.intSrc(g.r, g.intWrites)
+		}
+		u.Dest = g.intDest(&g.intWrites)
+	case isa.FPALU, isa.FPMul:
+		u.Src1 = g.fpSrc(g.r, g.fpWrites)
+		if g.r.Bool(g.prof.TwoSrcFrac) {
+			u.Src2 = g.fpSrc(g.r, g.fpWrites)
+		}
+		u.Dest = g.fpDest(&g.fpWrites)
+	case isa.Load:
+		u.Src1 = g.intSrc(g.r, g.intWrites)
+		u.Dest = g.intDest(&g.intWrites)
+	case isa.Store:
+		u.Src1 = g.intSrc(g.r, g.intWrites) // data
+		u.Src2 = g.intSrc(g.r, g.intWrites) // base
+	case isa.CondBranch:
+		u.Src1 = g.intSrc(g.r, g.intWrites)
+	case isa.Ret, isa.Jump, isa.Call:
+		// No register operands in the synthetic model.
+	}
+}
+
+// intDest allocates the next round-robin integer destination (r1..r30;
+// r0 is the zero register and r31 is reserved).
+func (g *Generator) intDest(writes *uint64) isa.Reg {
+	r := isa.Reg(1 + *writes%30)
+	*writes++
+	return r
+}
+
+func (g *Generator) fpDest(writes *uint64) isa.Reg {
+	r := isa.Reg(1 + *writes%30)
+	*writes++
+	return r
+}
+
+// intSrc picks a source register d writes back, d geometric with mean
+// MeanDepDist; writers are round-robin so the register identifies the
+// producing instruction. A NoSrcFrac share of reads are ready at rename
+// (immediates, globals, long-dead values) — without them the dependence
+// graph is far more serial than compiled code.
+func (g *Generator) intSrc(r *rng.Source, writes uint64) isa.Reg {
+	if r.Bool(g.prof.NoSrcFrac) {
+		return isa.NoReg
+	}
+	d := uint64(1 + r.Geometric(1/g.prof.MeanDepDist))
+	if d > 29 {
+		d = 29
+	}
+	if d > writes {
+		return isa.Reg(1 + r.Intn(30))
+	}
+	return isa.Reg(1 + (writes-d)%30)
+}
+
+func (g *Generator) fpSrc(r *rng.Source, writes uint64) isa.Reg {
+	d := uint64(1 + r.Geometric(1/g.prof.MeanDepDist))
+	if d > 29 {
+		d = 29
+	}
+	if d > writes {
+		return isa.Reg(1 + r.Intn(30))
+	}
+	return isa.Reg(1 + (writes-d)%30)
+}
+
+// dataAddr produces the effective address for a memory slot with the
+// given home region, applying the calibrated per-execution adjustment
+// (see regionAdjust in program.go).
+func (g *Generator) dataAddr(class isa.Class, home uint8) uint64 {
+	adj := &g.loadAdj
+	if class == isa.Store {
+		adj = &g.storeAdj
+	}
+	region := regionHot
+	switch home {
+	case regionFar:
+		if g.r.Bool(adj.pFar) {
+			region = regionFar
+		}
+	case regionMid:
+		if g.r.Bool(adj.pMid) {
+			region = regionMid
+		}
+	default:
+		x := g.r.Float64()
+		switch {
+		case x < adj.leakFar:
+			region = regionFar
+		case x < adj.leakFar+adj.leakMid:
+			region = regionMid
+		}
+	}
+	switch region {
+	case regionFar:
+		addr := g.base + farOffset + g.farCursor
+		g.farCursor = (g.farCursor + lineBytes) % farRegion
+		return addr
+	case regionMid:
+		addr := g.base + midOffset + g.midCursor
+		g.midCursor = (g.midCursor + lineBytes) % uint64(g.prof.MidBytes)
+		return addr
+	default:
+		return g.base + hotOffset + g.hotOffsetSample(g.r)
+	}
+}
+
+// hotOffsetSample draws a skewed offset within the hot region: mostly
+// the first few lines (stack tops and hot structures), occasionally
+// anywhere. Uniform access over the whole region would make the hot
+// set exactly as large as its footprint — the worst case for shared-
+// cache LRU and nothing like real programs' locality.
+func (g *Generator) hotOffsetSample(r *rng.Source) uint64 {
+	hotLines := g.prof.HotBytes / lineBytes
+	var line int
+	if r.Bool(0.97) {
+		line = r.Geometric(1.0 / 3)
+		if line >= hotLines {
+			line = hotLines - 1
+		}
+	} else {
+		line = r.Intn(hotLines)
+	}
+	return uint64(line)*lineBytes + uint64(r.Intn(lineBytes/8))*8
+}
+
+// StartWrongPath (re)seeds the wrong-path stream for a new misprediction
+// episode. salt should identify the episode (e.g. the branch's sequence
+// number) so replays are deterministic; startPC is where the front end
+// wrongly redirected to.
+func (g *Generator) StartWrongPath(salt, startPC uint64) {
+	g.wpR = rng.New(salt*0x9e3779b97f4a7c15 ^ g.base)
+	g.wpPC = startPC
+	g.wpSeq = 0
+	g.wpIntWrites = g.intWrites
+	g.wpFPWrites = g.fpWrites
+}
+
+// WrongPathPC returns the PC the front end runs off to after
+// mispredicting branch u: the fall-through when the prediction was
+// not-taken, otherwise a deterministic pseudo-target standing in for a
+// stale BTB entry. Stale targets point at recently executed code, so
+// the pseudo-target stays near the branch — a uniformly random target
+// would turn every misprediction into a cold I-cache excursion.
+func (g *Generator) WrongPathPC(u *isa.Uop, predictedTaken bool) uint64 {
+	if !predictedTaken {
+		return u.PC + 4
+	}
+	h := u.PC * 0x9e3779b97f4a7c15 >> 33
+	return g.blockPC(g.nearbyBlock(u.PC, h))
+}
+
+// nearbyBlock maps a PC to its block and offsets it by hash within a
+// small window, clamped to the program.
+func (g *Generator) nearbyBlock(pc, hash uint64) int32 {
+	slot := int((pc - g.base - codeOffset) / 4)
+	blocks := g.prog.blocks
+	// Binary search for the block containing slot.
+	lo, hi := 0, len(blocks)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if blocks[mid].first <= slot {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	b := lo + int(hash%17) - 8
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(blocks) {
+		b = len(blocks) - 1
+	}
+	return int32(b)
+}
+
+// NextWrongPath produces the next wrong-path uop. Wrong-path uops fetch,
+// rename, and execute (polluting caches and predictor history) but are
+// squashed when the mispredicted branch resolves. Wrong-path branches
+// carry plausible outcomes so fetch follows them, but the pipeline never
+// treats them as mispredicted.
+func (g *Generator) NextWrongPath() isa.Uop {
+	u := isa.Uop{
+		Seq:       g.wpSeq,
+		PC:        g.wpPC,
+		WrongPath: true,
+		Dest:      isa.NoReg,
+		Src1:      isa.NoReg,
+		Src2:      isa.NoReg,
+	}
+	g.wpSeq++
+
+	x := g.wpR.Float64()
+	p := g.prof
+	switch {
+	case x < p.LoadFrac:
+		u.Class = isa.Load
+	case x < p.LoadFrac+p.StoreFrac:
+		u.Class = isa.Store
+	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+		u.Class = isa.CondBranch
+	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.IntMulFrac:
+		u.Class = isa.IntMul
+	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.IntMulFrac+p.FPFrac:
+		u.Class = isa.FPALU
+	default:
+		u.Class = isa.IntALU
+	}
+
+	switch u.Class {
+	case isa.Load:
+		u.Src1 = g.wpIntSrc()
+		u.Dest = g.intDest(&g.wpIntWrites)
+		u.Mem.Addr = g.wpDataAddr()
+	case isa.Store:
+		u.Src1 = g.wpIntSrc()
+		u.Src2 = g.wpIntSrc()
+		u.Mem.Addr = g.wpDataAddr()
+	case isa.CondBranch:
+		u.Src1 = g.wpIntSrc()
+		u.Branch.Taken = g.wpR.Bool(0.6)
+		h := u.PC*0x2545f4914f6cdd1d + g.wpSeq
+		u.Branch.Target = g.blockPC(g.nearbyBlock(u.PC, h>>13))
+	case isa.FPALU:
+		u.Src1 = isa.Reg(1 + g.wpR.Intn(30))
+		u.Dest = g.fpDest(&g.wpFPWrites)
+	default:
+		u.Src1 = g.wpIntSrc()
+		u.Dest = g.intDest(&g.wpIntWrites)
+	}
+
+	if u.Class == isa.CondBranch && u.Branch.Taken {
+		g.wpPC = u.Branch.Target
+	} else {
+		g.wpPC += 4
+	}
+	return u
+}
+
+func (g *Generator) wpIntSrc() isa.Reg {
+	return isa.Reg(1 + g.wpR.Intn(30))
+}
+
+// wpDataAddr draws wrong-path data addresses from the same region
+// mixture as the correct path, so wrong-path loads pollute the caches
+// and bump the policies' miss counters realistically. Wrong-path loads
+// mostly touch data near the correct path's cursors — wrong paths run
+// the same code over the same structures — with a small fraction
+// streaming ahead (true pollution).
+func (g *Generator) wpDataAddr() uint64 {
+	x := g.wpR.Float64()
+	switch {
+	case x < g.farW:
+		var off uint64
+		if g.wpR.Bool(0.8) {
+			// Recently streamed lines: likely still cached.
+			back := uint64(1+g.wpR.Intn(256)) * lineBytes
+			off = (g.farCursor + farRegion - back) % farRegion
+		} else {
+			// A genuine extra miss, displaced far from the stream so
+			// wrong-path execution never prefetches the correct path's
+			// upcoming lines.
+			off = (g.farCursor + 8<<20 + uint64(g.wpR.Intn(4096))*lineBytes) % farRegion
+		}
+		return g.base + farOffset + off
+	case x < g.farW+g.midW:
+		back := uint64(g.wpR.Intn(256)) * lineBytes
+		mid := uint64(g.prof.MidBytes)
+		off := (g.midCursor + mid - back%mid) % mid
+		return g.base + midOffset + off
+	default:
+		return g.base + hotOffset + g.hotOffsetSample(g.wpR)
+	}
+}
+
+// Footprint describes the generator's memory regions, so a simulator
+// can pre-warm caches and TLBs to steady state instead of simulating
+// multi-hundred-thousand-instruction cold laps of the mid ring.
+type Footprint struct {
+	// CodeBase/CodeBytes span the program text.
+	CodeBase  uint64
+	CodeBytes int
+	// HotBase/HotBytes span the L1-resident data region.
+	HotBase  uint64
+	HotBytes int
+	// MidBase/MidBytes span the L2-resident ring.
+	MidBase  uint64
+	MidBytes int
+}
+
+// Footprint returns the thread's memory layout.
+func (g *Generator) Footprint() Footprint {
+	return Footprint{
+		CodeBase:  g.base + codeOffset,
+		CodeBytes: len(g.prog.insts) * 4,
+		HotBase:   g.base + hotOffset,
+		HotBytes:  g.prof.HotBytes,
+		MidBase:   g.base + midOffset,
+		MidBytes:  g.prof.MidBytes,
+	}
+}
+
+// DebugStaticStats summarises the static program for diagnostics.
+func DebugStaticStats(g *Generator) string {
+	var cond, jump, call, ret int
+	for _, st := range g.prog.insts {
+		switch st.class {
+		case isa.CondBranch:
+			cond++
+		case isa.Jump:
+			jump++
+		case isa.Call:
+			call++
+		case isa.Ret:
+			ret++
+		}
+	}
+	return fmt.Sprintf("static: insts=%d blocks=%d funcs=%d cond=%d jump=%d call=%d ret=%d",
+		len(g.prog.insts), len(g.prog.blocks), len(g.prog.entries), cond, jump, call, ret)
+}

@@ -1,0 +1,256 @@
+// Package workload synthesises the SPECint2000 benchmark behaviour the
+// paper's trace-driven simulator consumed from Alpha traces.
+//
+// The original evaluation fed SMTSIM 300M-instruction SimPoint trace
+// segments of the twelve SPECint2000 programs. Those traces (and the
+// Alpha binaries that produced them) are unavailable, so this package
+// substitutes per-benchmark synthetic generators calibrated to the
+// observable characteristics the fetch policies actually react to:
+//
+//   - the instruction mix (loads, stores, branches, multiplies, FP),
+//   - the L1 and L2 data-miss rates per dynamic load (paper Table 2a),
+//   - branch predictability under gshare,
+//   - register-dependency distance (ILP),
+//   - code footprint (I-cache behaviour).
+//
+// Memory behaviour uses a three-region model: a small hot region that
+// hits the L1, a ring buffer larger than the L1 but L2-resident (L1 miss,
+// L2 hit), and a cold streaming region that always misses both levels.
+// Each static load is assigned a home region; mixture weights follow
+// directly from Table 2(a). Table 2(a) is regenerated as a calibration
+// experiment.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ThreadType is the paper's classification of a benchmark.
+type ThreadType uint8
+
+const (
+	// ILP marks benchmarks with good cache behaviour (L2 miss rate <= 1%).
+	ILP ThreadType = iota
+	// MEM marks memory-bounded benchmarks (L2 miss rate > 1%).
+	MEM
+)
+
+func (t ThreadType) String() string {
+	if t == MEM {
+		return "MEM"
+	}
+	return "ILP"
+}
+
+// Profile parameterises one synthetic benchmark.
+type Profile struct {
+	// Name is the SPECint2000 benchmark name.
+	Name string
+	// Type is the paper's MEM/ILP classification.
+	Type ThreadType
+
+	// Instruction mix, as fractions of dynamic instructions. The
+	// remainder is single-cycle integer ALU work.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	IntMulFrac float64
+	FPFrac     float64
+
+	// L1MissRate and L2MissRate are per-dynamic-load miss rates from the
+	// paper's Table 2(a) (e.g. mcf: 0.323 and 0.296).
+	L1MissRate float64
+	L2MissRate float64
+	// StoreMissScale scales the same region mixture for stores (stores
+	// hit more often: stack and local traffic).
+	StoreMissScale float64
+
+	// HardBranchFrac is the fraction of static conditional branches with
+	// near-random outcomes (the rest are heavily biased); it tunes the
+	// gshare misprediction rate. TakenBias is the fraction of biased
+	// branches that are taken-biased (drives fetch fragmentation).
+	HardBranchFrac float64
+	TakenBias      float64
+
+	// MeanDepDist is the mean register-dependency distance in
+	// instructions; larger means more ILP. TwoSrcFrac is the fraction of
+	// instructions reading two registers. NoSrcFrac is the fraction of
+	// register reads satisfied by immediates or long-dead values (ready
+	// at rename): high for compute code, near zero for pointer chasing,
+	// where nearly every instruction hangs off the last load.
+	MeanDepDist float64
+	TwoSrcFrac  float64
+	NoSrcFrac   float64
+
+	// Footprints in bytes: static code, hot data region, L2-resident
+	// ring region.
+	CodeBytes int
+	HotBytes  int
+	MidBytes  int
+}
+
+// Validate reports parameter errors.
+func (p *Profile) Validate() error {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.IntMulFrac + p.FPFrac
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile needs a name")
+	case sum >= 1.0 || p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac <= 0 || p.IntMulFrac < 0 || p.FPFrac < 0:
+		return fmt.Errorf("workload: %s instruction mix invalid (sum %.3f)", p.Name, sum)
+	case p.L1MissRate < 0 || p.L1MissRate > 1 || p.L2MissRate < 0 || p.L2MissRate > p.L1MissRate:
+		return fmt.Errorf("workload: %s miss rates invalid (L1 %.3f, L2 %.3f)", p.Name, p.L1MissRate, p.L2MissRate)
+	case p.NoSrcFrac < 0 || p.NoSrcFrac > 1:
+		return fmt.Errorf("workload: %s NoSrcFrac out of range", p.Name)
+	case p.MeanDepDist < 1:
+		return fmt.Errorf("workload: %s mean dependency distance must be >= 1", p.Name)
+	case p.CodeBytes < 4096 || p.HotBytes < 64 || p.MidBytes < 64:
+		return fmt.Errorf("workload: %s footprints too small", p.Name)
+	case p.HardBranchFrac < 0 || p.HardBranchFrac > 1 || p.TakenBias < 0 || p.TakenBias > 1:
+		return fmt.Errorf("workload: %s branch parameters out of range", p.Name)
+	}
+	return nil
+}
+
+// profiles is the calibrated SPECint2000 set. Miss rates are the paper's
+// Table 2(a); instruction mixes and branch behaviour are typical
+// published SPECint2000 characteristics; dependency distances are tuned
+// so ILP benchmarks sustain healthy single-thread IPC on the baseline
+// while mcf crawls.
+var profiles = map[string]*Profile{
+	"mcf": {
+		Name: "mcf", Type: MEM,
+		LoadFrac: 0.31, StoreFrac: 0.09, BranchFrac: 0.19, IntMulFrac: 0.00, FPFrac: 0.00,
+		L1MissRate: 0.323, L2MissRate: 0.296, StoreMissScale: 0.25,
+		HardBranchFrac: 0.072, TakenBias: 0.62,
+		MeanDepDist: 3.0, TwoSrcFrac: 0.45, NoSrcFrac: 0.04,
+		CodeBytes: 16 << 10, HotBytes: 4 << 10, MidBytes: 128 << 10,
+	},
+	"twolf": {
+		Name: "twolf", Type: MEM,
+		LoadFrac: 0.24, StoreFrac: 0.09, BranchFrac: 0.16, IntMulFrac: 0.01, FPFrac: 0.01,
+		L1MissRate: 0.058, L2MissRate: 0.029, StoreMissScale: 0.40,
+		HardBranchFrac: 0.120, TakenBias: 0.60,
+		MeanDepDist: 4.0, TwoSrcFrac: 0.45, NoSrcFrac: 0.10,
+		CodeBytes: 32 << 10, HotBytes: 8 << 10, MidBytes: 128 << 10,
+	},
+	"vpr": {
+		Name: "vpr", Type: MEM,
+		LoadFrac: 0.28, StoreFrac: 0.11, BranchFrac: 0.14, IntMulFrac: 0.01, FPFrac: 0.02,
+		L1MissRate: 0.043, L2MissRate: 0.019, StoreMissScale: 0.40,
+		HardBranchFrac: 0.096, TakenBias: 0.60,
+		MeanDepDist: 4.5, TwoSrcFrac: 0.45, NoSrcFrac: 0.10,
+		CodeBytes: 32 << 10, HotBytes: 8 << 10, MidBytes: 128 << 10,
+	},
+	"parser": {
+		Name: "parser", Type: MEM,
+		LoadFrac: 0.21, StoreFrac: 0.11, BranchFrac: 0.18, IntMulFrac: 0.01, FPFrac: 0.00,
+		L1MissRate: 0.029, L2MissRate: 0.010, StoreMissScale: 0.40,
+		HardBranchFrac: 0.060, TakenBias: 0.62,
+		MeanDepDist: 4.0, TwoSrcFrac: 0.45, NoSrcFrac: 0.12,
+		CodeBytes: 32 << 10, HotBytes: 8 << 10, MidBytes: 96 << 10,
+	},
+	"gap": {
+		Name: "gap", Type: ILP,
+		LoadFrac: 0.21, StoreFrac: 0.13, BranchFrac: 0.14, IntMulFrac: 0.02, FPFrac: 0.00,
+		L1MissRate: 0.007, L2MissRate: 0.0066, StoreMissScale: 0.40,
+		HardBranchFrac: 0.030, TakenBias: 0.65,
+		MeanDepDist: 5.0, TwoSrcFrac: 0.45, NoSrcFrac: 0.20,
+		CodeBytes: 48 << 10, HotBytes: 16 << 10, MidBytes: 96 << 10,
+	},
+	"vortex": {
+		Name: "vortex", Type: ILP,
+		LoadFrac: 0.27, StoreFrac: 0.17, BranchFrac: 0.16, IntMulFrac: 0.01, FPFrac: 0.00,
+		L1MissRate: 0.010, L2MissRate: 0.003, StoreMissScale: 0.40,
+		HardBranchFrac: 0.012, TakenBias: 0.65,
+		MeanDepDist: 5.0, TwoSrcFrac: 0.45, NoSrcFrac: 0.20,
+		CodeBytes: 48 << 10, HotBytes: 16 << 10, MidBytes: 96 << 10,
+	},
+	"gcc": {
+		Name: "gcc", Type: ILP,
+		LoadFrac: 0.25, StoreFrac: 0.13, BranchFrac: 0.19, IntMulFrac: 0.01, FPFrac: 0.00,
+		L1MissRate: 0.004, L2MissRate: 0.003, StoreMissScale: 0.40,
+		HardBranchFrac: 0.048, TakenBias: 0.63,
+		MeanDepDist: 4.5, TwoSrcFrac: 0.45, NoSrcFrac: 0.18,
+		CodeBytes: 64 << 10, HotBytes: 16 << 10, MidBytes: 64 << 10,
+	},
+	"perlbmk": {
+		Name: "perlbmk", Type: ILP,
+		LoadFrac: 0.24, StoreFrac: 0.14, BranchFrac: 0.18, IntMulFrac: 0.01, FPFrac: 0.00,
+		L1MissRate: 0.003, L2MissRate: 0.001, StoreMissScale: 0.40,
+		HardBranchFrac: 0.036, TakenBias: 0.65,
+		MeanDepDist: 4.5, TwoSrcFrac: 0.45, NoSrcFrac: 0.18,
+		CodeBytes: 48 << 10, HotBytes: 16 << 10, MidBytes: 64 << 10,
+	},
+	"bzip2": {
+		Name: "bzip2", Type: ILP,
+		LoadFrac: 0.26, StoreFrac: 0.09, BranchFrac: 0.15, IntMulFrac: 0.01, FPFrac: 0.00,
+		L1MissRate: 0.001, L2MissRate: 0.001, StoreMissScale: 0.40,
+		HardBranchFrac: 0.060, TakenBias: 0.62,
+		MeanDepDist: 5.5, TwoSrcFrac: 0.45, NoSrcFrac: 0.22,
+		CodeBytes: 24 << 10, HotBytes: 16 << 10, MidBytes: 48 << 10,
+	},
+	"crafty": {
+		Name: "crafty", Type: ILP,
+		LoadFrac: 0.28, StoreFrac: 0.09, BranchFrac: 0.13, IntMulFrac: 0.02, FPFrac: 0.00,
+		L1MissRate: 0.008, L2MissRate: 0.001, StoreMissScale: 0.40,
+		HardBranchFrac: 0.066, TakenBias: 0.60,
+		MeanDepDist: 5.0, TwoSrcFrac: 0.50, NoSrcFrac: 0.20,
+		CodeBytes: 48 << 10, HotBytes: 16 << 10, MidBytes: 96 << 10,
+	},
+	"gzip": {
+		Name: "gzip", Type: ILP,
+		LoadFrac: 0.20, StoreFrac: 0.08, BranchFrac: 0.17, IntMulFrac: 0.01, FPFrac: 0.00,
+		L1MissRate: 0.025, L2MissRate: 0.001, StoreMissScale: 0.40,
+		HardBranchFrac: 0.054, TakenBias: 0.62,
+		MeanDepDist: 5.0, TwoSrcFrac: 0.45, NoSrcFrac: 0.20,
+		CodeBytes: 24 << 10, HotBytes: 8 << 10, MidBytes: 128 << 10,
+	},
+	"eon": {
+		Name: "eon", Type: ILP,
+		LoadFrac: 0.26, StoreFrac: 0.17, BranchFrac: 0.11, IntMulFrac: 0.01, FPFrac: 0.08,
+		L1MissRate: 0.001, L2MissRate: 0.0002, StoreMissScale: 0.40,
+		HardBranchFrac: 0.030, TakenBias: 0.65,
+		MeanDepDist: 5.5, TwoSrcFrac: 0.45, NoSrcFrac: 0.22,
+		CodeBytes: 48 << 10, HotBytes: 16 << 10, MidBytes: 48 << 10,
+	},
+}
+
+// Get returns the calibrated profile for a SPECint2000 benchmark name.
+func Get(name string) (*Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustGet is Get for static names; it panics on unknown benchmarks.
+func MustGet(name string) *Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns all benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register adds or replaces a profile (used by the custom-workload
+// example and by tests). The profile must validate.
+func Register(p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cp := *p
+	profiles[p.Name] = &cp
+	return nil
+}
