@@ -1,0 +1,87 @@
+// Command dwarnd serves the SMT simulator over HTTP: submit
+// simulations and policy × workload sweeps as async jobs, poll their
+// status, and let the content-addressed result cache absorb repeated
+// work. See README.md for the API walkthrough and DESIGN.md §dwarnd for
+// the architecture.
+//
+// Examples:
+//
+//	dwarnd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/simulations \
+//	    -d '{"policy":"dwarn","workload":"4-MIX"}'
+//	curl -s localhost:8080/v1/simulations/sim-000001
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"workloads":["4-MIX"]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dwarn/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		queueDepth   = flag.Int("queue", 256, "job queue depth")
+		cacheEntries = flag.Int("cache", 4096, "result cache entries")
+		maxCycles    = flag.Int64("max-cycles", 5_000_000, "per-request cycle cap (warmup and measure each; <0 = uncapped)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		MaxCycles:    *maxCycles,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dwarnd: listening on %s (%d workers, queue %d, cache %d entries)",
+			*addr, *workers, *queueDepth, *cacheEntries)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("dwarnd: %v", err)
+		}
+	case <-ctx.Done():
+	}
+
+	// Stop accepting connections, then drain queued and in-flight jobs.
+	log.Printf("dwarnd: shutting down, draining jobs (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("dwarnd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dwarnd: job drain: %v\n", err)
+		os.Exit(1)
+	}
+	log.Print("dwarnd: drained cleanly")
+}

@@ -1,17 +1,20 @@
 // Command experiments regenerates the paper's tables and figures from
-// the simulator, printing each as an aligned text table.
+// the simulator, printing each as an aligned text table or, with
+// -json, as machine-readable JSON (the exp.Table shape).
 //
 // Examples:
 //
 //	experiments                     # regenerate everything
 //	experiments -exp fig1a          # one artifact
 //	experiments -exp fig3 -measure 300000 -warmup 120000
+//	experiments -exp table4 -json   # machine-readable output
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +31,7 @@ func main() {
 		warmup  = flag.Int64("warmup", 0, "warmup cycles per run (0 = default)")
 		measure = flag.Int64("measure", 0, "measured cycles per run (0 = default)")
 		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit JSON instead of aligned text tables")
 	)
 	flag.Parse()
 
@@ -42,6 +46,7 @@ func main() {
 	if *expID != "all" {
 		ids = strings.Split(*expID, ",")
 	}
+	var all []*exp.Table
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := r.Run(strings.TrimSpace(id))
@@ -49,9 +54,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		if *asJSON {
+			all = append(all, tables...)
+			continue
+		}
 		for _, t := range tables {
 			fmt.Println(t.Render())
 		}
 		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -43,7 +43,7 @@ func main() {
 		return
 	}
 
-	cfg, err := machineConfig(*machine)
+	cfg, err := config.ByName(*machine)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,18 +89,6 @@ func imissRate(t sim.ThreadResult) float64 {
 		return 0
 	}
 	return float64(t.Mem.IMisses) / float64(t.Mem.IFetches)
-}
-
-func machineConfig(name string) (*config.Processor, error) {
-	switch name {
-	case "baseline":
-		return config.Baseline(), nil
-	case "small":
-		return config.Small(), nil
-	case "deep":
-		return config.Deep(), nil
-	}
-	return nil, fmt.Errorf("unknown machine %q (baseline, small, deep)", name)
 }
 
 func max64(a, b uint64) uint64 {

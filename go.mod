@@ -1,0 +1,3 @@
+module dwarn
+
+go 1.24

@@ -290,6 +290,23 @@ func Deep() *Processor {
 	return p
 }
 
+// Machines returns the named machine configurations in paper order.
+func Machines() []string { return []string{"baseline", "small", "deep"} }
+
+// ByName returns a named machine configuration. The empty string means
+// the baseline machine.
+func ByName(name string) (*Processor, error) {
+	switch name {
+	case "", "baseline":
+		return Baseline(), nil
+	case "small":
+		return Small(), nil
+	case "deep":
+		return Deep(), nil
+	}
+	return nil, fmt.Errorf("config: unknown machine %q (known: %v)", name, Machines())
+}
+
 // Clone returns a deep copy (Processor contains only value fields, so a
 // shallow copy suffices; the method exists to make call sites explicit).
 func (p *Processor) Clone() *Processor {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dwarn/internal/config"
 	"dwarn/internal/workload"
 )
 
@@ -25,11 +26,11 @@ func TestTableRender(t *testing.T) {
 
 func TestMachineFor(t *testing.T) {
 	for _, name := range []string{"baseline", "small", "deep", ""} {
-		if _, err := machineFor(name); err != nil {
-			t.Errorf("machineFor(%q): %v", name, err)
+		if _, err := config.ByName(name); err != nil {
+			t.Errorf("config.ByName(%q): %v", name, err)
 		}
 	}
-	if _, err := machineFor("nonesuch"); err == nil {
+	if _, err := config.ByName("nonesuch"); err == nil {
 		t.Error("unknown machine accepted")
 	}
 }

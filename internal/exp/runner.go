@@ -56,13 +56,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Runner executes and memoises simulations.
+// Runner executes and memoises simulations. The memo is keyed by
+// sim.Fingerprint — the same content-addressed identity the dwarnd
+// service cache uses — with a (machine, policy, workload-name) index on
+// top for the lookups the table builders perform.
 type Runner struct {
 	cfg Config
 
-	mu   sync.Mutex
-	runs map[runKey]*sim.Result
-	errs map[runKey]error
+	mu    sync.Mutex
+	runs  map[string]*sim.Result // fingerprint → result
+	errs  map[string]error       // fingerprint → error
+	index map[runKey]string      // name triple → fingerprint
 }
 
 type runKey struct {
@@ -74,23 +78,11 @@ type runKey struct {
 // NewRunner builds a Runner with the given protocol.
 func NewRunner(cfg Config) *Runner {
 	return &Runner{
-		cfg:  cfg.withDefaults(),
-		runs: make(map[runKey]*sim.Result),
-		errs: make(map[runKey]error),
+		cfg:   cfg.withDefaults(),
+		runs:  make(map[string]*sim.Result),
+		errs:  make(map[string]error),
+		index: make(map[runKey]string),
 	}
-}
-
-// machineFor maps a machine name to its configuration.
-func machineFor(name string) (*config.Processor, error) {
-	switch name {
-	case "", "baseline":
-		return config.Baseline(), nil
-	case "small":
-		return config.Small(), nil
-	case "deep":
-		return config.Deep(), nil
-	}
-	return nil, fmt.Errorf("exp: unknown machine %q", name)
 }
 
 // job is one simulation to perform.
@@ -102,19 +94,24 @@ type job struct {
 	label    string // memo key for instance-based jobs
 }
 
-func (j job) key() runKey {
-	pol := j.policy
-	if pol == "" {
-		pol = j.label
+// policyID is the policy component of the memo key: the registry name,
+// or the label for parameterised instances.
+func (j job) policyID() string {
+	if j.policy != "" {
+		return j.policy
 	}
-	return runKey{machine: j.machine, policy: pol, workload: j.workload.Name}
+	return j.label
 }
 
-// execute runs one job (uncached).
-func (r *Runner) execute(j job) (*sim.Result, error) {
-	cfg, err := machineFor(j.machine)
+func (j job) key() runKey {
+	return runKey{machine: j.machine, policy: j.policyID(), workload: j.workload.Name}
+}
+
+// options assembles the sim.Options for a job.
+func (r *Runner) options(j job) (sim.Options, error) {
+	cfg, err := config.ByName(j.machine)
 	if err != nil {
-		return nil, err
+		return sim.Options{}, err
 	}
 	opts := sim.Options{
 		Config:        cfg,
@@ -127,52 +124,70 @@ func (r *Runner) execute(j job) (*sim.Result, error) {
 	if j.instance != nil {
 		opts.PolicyInstance = j.instance()
 	}
-	return sim.Run(opts)
+	return opts, nil
 }
 
 // runAll completes all jobs, memoised, fanning out over the worker pool.
 func (r *Runner) runAll(jobs []job) error {
-	var pending []job
+	type pendingJob struct {
+		opts sim.Options
+		fp   string
+	}
+	// Resolve every job before reserving anything, so a bad job cannot
+	// strand nil reservations in the memo for the good ones.
+	prepared := make([]pendingJob, len(jobs))
+	for i, j := range jobs {
+		opts, err := r.options(j)
+		if err != nil {
+			return err
+		}
+		prepared[i] = pendingJob{opts: opts, fp: sim.Fingerprint(opts, j.policyID())}
+	}
+
+	var pending []pendingJob
+	fps := make([]string, len(jobs))
 	r.mu.Lock()
-	for _, j := range jobs {
-		k := j.key()
-		if _, ok := r.runs[k]; ok {
+	for i, j := range jobs {
+		p := prepared[i]
+		fps[i] = p.fp
+		r.index[j.key()] = p.fp
+		if _, ok := r.runs[p.fp]; ok {
 			continue
 		}
-		if _, ok := r.errs[k]; ok {
+		if _, ok := r.errs[p.fp]; ok {
 			continue
 		}
 		// Reserve the slot so duplicate jobs in this batch run once.
-		r.runs[k] = nil
-		pending = append(pending, j)
+		r.runs[p.fp] = nil
+		pending = append(pending, p)
 	}
 	r.mu.Unlock()
 
 	sem := make(chan struct{}, r.cfg.Parallelism)
 	var wg sync.WaitGroup
-	for _, j := range pending {
+	for _, p := range pending {
 		wg.Add(1)
-		go func(j job) {
+		go func(p pendingJob) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := r.execute(j)
+			res, err := sim.Run(p.opts)
 			r.mu.Lock()
 			if err != nil {
-				delete(r.runs, j.key())
-				r.errs[j.key()] = err
+				delete(r.runs, p.fp)
+				r.errs[p.fp] = err
 			} else {
-				r.runs[j.key()] = res
+				r.runs[p.fp] = res
 			}
 			r.mu.Unlock()
-		}(j)
+		}(p)
 	}
 	wg.Wait()
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, j := range jobs {
-		if err := r.errs[j.key()]; err != nil {
+	for _, fp := range fps {
+		if err := r.errs[fp]; err != nil {
 			return err
 		}
 	}
@@ -183,7 +198,7 @@ func (r *Runner) runAll(jobs []job) error {
 func (r *Runner) get(machine, policy string, wl string) *sim.Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.runs[runKey{machine: machine, policy: policy, workload: wl}]
+	return r.runs[r.index[runKey{machine: machine, policy: policy, workload: wl}]]
 }
 
 // Solo returns the single-thread IPC of a benchmark on a machine (the

@@ -7,18 +7,19 @@ import (
 )
 
 // Table is a rendered experiment result: the rows and series a paper
-// table or figure reports.
+// table or figure reports. The JSON tags are the machine-readable shape
+// `experiments -json` emits.
 type Table struct {
 	// ID is the experiment identifier (e.g. "fig1a").
-	ID string
+	ID string `json:"id"`
 	// Title describes the artifact being regenerated.
-	Title string
+	Title string `json:"title"`
 	// Header names the columns.
-	Header []string
+	Header []string `json:"header"`
 	// Rows holds the data, already formatted.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes are printed under the table (paper-vs-measured remarks).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render returns the table as aligned text.

@@ -1,0 +1,213 @@
+// Package service exposes the simulator as a long-lived HTTP service:
+// REST endpoints over a bounded worker pool with a FIFO job queue,
+// per-job cancellation, and a content-addressed LRU result cache keyed
+// by sim.Fingerprint so identical requests — including the solo-IPC
+// baselines behind every Hmean/weighted-speedup computation — are paid
+// for once across requests. See DESIGN.md §dwarnd for the architecture.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dwarn/internal/config"
+	"dwarn/internal/core"
+	"dwarn/internal/sim"
+	"dwarn/internal/stats"
+	"dwarn/internal/workload"
+)
+
+// SimulationRequest is the body of POST /v1/simulations: one machine ×
+// policy × workload run. Zero-valued protocol fields take the sim
+// package defaults, so the empty request minus Policy/Workload is valid.
+type SimulationRequest struct {
+	// Machine names a configuration: "baseline" (default), "small", "deep".
+	Machine string `json:"machine,omitempty"`
+	// Policy is a fetch policy registry name ("dwarn", "icount", ...).
+	Policy string `json:"policy"`
+	// Workload names a Table 2(b) workload ("4-MIX"). Exactly one of
+	// Workload and Benchmarks must be set.
+	Workload string `json:"workload,omitempty"`
+	// Benchmarks builds a custom workload from benchmark names instead.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Seed drives all synthetic randomness (0 = the default seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// WarmupCycles and MeasureCycles control the protocol (0 = defaults).
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+	// Baselines additionally runs each benchmark solo under ICOUNT (each
+	// a cache entry of its own) and reports relative-IPC metrics.
+	Baselines bool `json:"baselines,omitempty"`
+}
+
+// SimulationResult is the payload of a finished simulation job. Repeat
+// submissions of an identical request are served byte-for-byte from the
+// result cache.
+type SimulationResult struct {
+	// Fingerprint is the content-addressed identity of the run.
+	Fingerprint string `json:"fingerprint"`
+	// Result is the simulator's full measurement record.
+	Result *sim.Result `json:"result"`
+	// Summary holds relative-IPC metrics; only with Baselines.
+	Summary *stats.Summary `json:"summary,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps: the cross product of
+// machines × policies × workloads fans out into one job per cell.
+type SweepRequest struct {
+	// Machines defaults to ["baseline"].
+	Machines []string `json:"machines,omitempty"`
+	// Policies defaults to the six paper policies.
+	Policies []string `json:"policies,omitempty"`
+	// Workloads must name at least one Table 2(b) workload.
+	Workloads []string `json:"workloads"`
+	// Seed, WarmupCycles, MeasureCycles as in SimulationRequest.
+	Seed          uint64 `json:"seed,omitempty"`
+	WarmupCycles  int64  `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64  `json:"measure_cycles,omitempty"`
+	// Baselines adds relative-IPC metrics to every cell.
+	Baselines bool `json:"baselines,omitempty"`
+}
+
+// SweepCell is one grid point of a sweep's status.
+type SweepCell struct {
+	Machine  string `json:"machine"`
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	// JobID is the cell's simulation job; poll it for the full result.
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	// Throughput is filled in once the cell is done.
+	Throughput *float64 `json:"throughput,omitempty"`
+	// Hmean and WeightedSpeedup are filled in for Baselines sweeps.
+	Hmean           *float64 `json:"hmean,omitempty"`
+	WeightedSpeedup *float64 `json:"weighted_speedup,omitempty"`
+	Error           string   `json:"error,omitempty"`
+}
+
+// SweepStatus is the response for GET /v1/sweeps/{id}.
+type SweepStatus struct {
+	ID          string    `json:"id"`
+	State       string    `json:"state"` // running | done | failed | canceled
+	SubmittedAt time.Time `json:"submitted_at"`
+	Total       int       `json:"total"`
+	Done        int       `json:"done"`
+	Failed      int       `json:"failed"`
+	Canceled    int       `json:"canceled"`
+	// Error is set when the fan-out itself aborted (e.g. queue full);
+	// cells never submitted report state "unsubmitted".
+	Error string      `json:"error,omitempty"`
+	Cells []SweepCell `json:"cells"`
+}
+
+// maxNameLen bounds request-supplied names so hostile payloads cannot
+// bloat job records or cache keys.
+const maxNameLen = 128
+
+// resolve validates a SimulationRequest against the registries and
+// converts it to sim.Options. maxCycles bounds the requested run
+// lengths (0 = unbounded).
+func (req *SimulationRequest) resolve(maxCycles int64) (sim.Options, error) {
+	var opts sim.Options
+
+	cfg, err := config.ByName(req.Machine)
+	if err != nil {
+		return opts, err
+	}
+
+	if req.Policy == "" {
+		return opts, fmt.Errorf("service: request needs a policy (known: %v)", core.Policies())
+	}
+	if _, err := core.NewPolicy(req.Policy); err != nil {
+		return opts, err
+	}
+
+	var wl workload.Workload
+	switch {
+	case req.Workload != "" && len(req.Benchmarks) > 0:
+		return opts, fmt.Errorf("service: set workload or benchmarks, not both")
+	case req.Workload != "":
+		wl, err = workload.GetWorkload(req.Workload)
+		if err != nil {
+			return opts, err
+		}
+	case len(req.Benchmarks) > 0:
+		if len(req.Benchmarks) > cfg.HardwareContexts {
+			return opts, fmt.Errorf("service: %d benchmarks exceed the %s machine's %d hardware contexts",
+				len(req.Benchmarks), cfg.Name, cfg.HardwareContexts)
+		}
+		// The name encodes the content so the fingerprint of a custom
+		// workload is stable across requests.
+		wl, err = workload.Custom("custom:"+strings.Join(req.Benchmarks, "+"), req.Benchmarks)
+		if err != nil {
+			return opts, err
+		}
+	default:
+		return opts, fmt.Errorf("service: request needs a workload or benchmarks")
+	}
+	if wl.Threads > cfg.HardwareContexts {
+		return opts, fmt.Errorf("service: workload %s needs %d contexts but the %s machine has %d",
+			wl.Name, wl.Threads, cfg.Name, cfg.HardwareContexts)
+	}
+
+	if req.WarmupCycles < 0 || req.MeasureCycles < 0 {
+		return opts, fmt.Errorf("service: cycle counts must be non-negative")
+	}
+	if maxCycles > 0 && (req.WarmupCycles > maxCycles || req.MeasureCycles > maxCycles) {
+		return opts, fmt.Errorf("service: cycle counts capped at %d per run", maxCycles)
+	}
+	if len(req.Machine) > maxNameLen || len(req.Policy) > maxNameLen || len(req.Workload) > maxNameLen {
+		return opts, fmt.Errorf("service: name too long")
+	}
+
+	return sim.Options{
+		Config:        cfg,
+		Policy:        req.Policy,
+		Workload:      wl,
+		Seed:          req.Seed,
+		WarmupCycles:  req.WarmupCycles,
+		MeasureCycles: req.MeasureCycles,
+	}, nil
+}
+
+// cells expands a SweepRequest into per-cell SimulationRequests,
+// validating every cell before any job is created.
+func (req *SweepRequest) cells(maxCycles int64) ([]SimulationRequest, error) {
+	machines := req.Machines
+	if len(machines) == 0 {
+		machines = []string{"baseline"}
+	}
+	policies := req.Policies
+	if len(policies) == 0 {
+		policies = core.PaperPolicies()
+	}
+	if len(req.Workloads) == 0 {
+		return nil, fmt.Errorf("service: sweep needs at least one workload")
+	}
+
+	out := make([]SimulationRequest, 0, len(machines)*len(policies)*len(req.Workloads))
+	for _, m := range machines {
+		if m == "" {
+			m = "baseline"
+		}
+		for _, p := range policies {
+			for _, w := range req.Workloads {
+				cell := SimulationRequest{
+					Machine:       m,
+					Policy:        p,
+					Workload:      w,
+					Seed:          req.Seed,
+					WarmupCycles:  req.WarmupCycles,
+					MeasureCycles: req.MeasureCycles,
+					Baselines:     req.Baselines,
+				}
+				if _, err := cell.resolve(maxCycles); err != nil {
+					return nil, fmt.Errorf("sweep cell %s/%s/%s: %w", m, p, w, err)
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states. A job is terminal in StateDone, StateFailed, or
+// StateCanceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Submission errors the HTTP layer maps to 503.
+var (
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// runFunc performs a job's work. It must honour ctx; cached reports
+// whether the result was served from the result cache.
+type runFunc func(ctx context.Context) (result json.RawMessage, cached bool, err error)
+
+// Job is one unit of queued work. All fields are guarded by the owning
+// Manager's mutex; handlers read them through View.
+type Job struct {
+	ID          string
+	Kind        string // "simulation"
+	Request     any    // echoed in status responses
+	State       string
+	Cached      bool
+	Result      json.RawMessage
+	Err         string
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    runFunc
+}
+
+// JobView is the JSON shape of a job in API responses.
+type JobView struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       string          `json:"state"`
+	Cached      bool            `json:"cached"`
+	Request     any             `json:"request,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+}
+
+// Manager owns the worker pool and the FIFO job queue. Jobs are
+// executed in submission order by a fixed number of workers; each job
+// carries its own cancellable context, and Shutdown drains queued and
+// in-flight work before returning. Terminal job records are retained
+// for polling but bounded: beyond maxRecords the oldest terminal jobs
+// are pruned (active jobs are never pruned), so a long-lived service
+// cannot grow without bound.
+type Manager struct {
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // submission order, for listing
+	seq        uint64
+	closed     bool
+	maxRecords int
+
+	queue   chan *Job
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	now func() time.Time // test hook
+}
+
+// NewManager starts workers goroutines draining a queue of depth
+// slots, retaining at most maxRecords job records.
+func NewManager(workers, depth, maxRecords int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if maxRecords < 1 {
+		maxRecords = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, depth),
+		maxRecords: maxRecords,
+		baseCtx:    ctx,
+		stopAll:    cancel,
+		now:        time.Now,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.mu.Lock()
+		if j.State != StateQueued { // canceled while queued
+			m.mu.Unlock()
+			continue
+		}
+		j.State = StateRunning
+		j.StartedAt = m.now()
+		m.mu.Unlock()
+
+		res, cached, err := j.run(j.ctx)
+
+		m.mu.Lock()
+		j.FinishedAt = m.now()
+		switch {
+		case err == nil:
+			j.State = StateDone
+			j.Result = res
+			j.Cached = cached
+		case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+			j.State = StateCanceled
+			j.Err = "canceled"
+		default:
+			j.State = StateFailed
+			j.Err = err.Error()
+		}
+		j.cancel()
+		m.mu.Unlock()
+	}
+}
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// pruneLocked drops the oldest terminal job records beyond maxRecords.
+func (m *Manager) pruneLocked() {
+	excess := len(m.order) - m.maxRecords
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if excess > 0 && terminal(m.jobs[id].State) {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func (m *Manager) newJob(kind string, req any) *Job {
+	m.seq++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID:          fmt.Sprintf("%s-%06d", kind, m.seq),
+		Kind:        kind,
+		Request:     req,
+		State:       StateQueued,
+		SubmittedAt: m.now(),
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.pruneLocked()
+	return j
+}
+
+// Submit enqueues a new job. It fails fast with ErrQueueFull when the
+// queue has no free slot and ErrShuttingDown after Shutdown began.
+func (m *Manager) Submit(kind string, req any, run runFunc) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	j := m.newJob(kind, req)
+	j.run = run
+	select {
+	case m.queue <- j:
+		return j, nil
+	default:
+		delete(m.jobs, j.ID)
+		m.order = m.order[:len(m.order)-1]
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// SubmitCompleted records a job that finished at submission time — the
+// fast path for results already present in the cache, which bypasses
+// the queue entirely.
+func (m *Manager) SubmitCompleted(kind string, req any, result json.RawMessage, cached bool) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	j := m.newJob(kind, req)
+	j.State = StateDone
+	j.StartedAt = j.SubmittedAt
+	j.FinishedAt = j.SubmittedAt
+	j.Result = result
+	j.Cached = cached
+	j.cancel()
+	return j, nil
+}
+
+// Get returns a job's current view.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return m.viewLocked(j), true
+}
+
+// Cancel cancels a queued or running job. Cancelling a queued job takes
+// effect immediately; a running job stops at its next context check.
+// Returns false if the job does not exist or is already terminal.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateCanceled
+		j.Err = "canceled"
+		j.FinishedAt = m.now()
+		j.cancel()
+		return true
+	case StateRunning:
+		j.cancel() // worker observes ctx and records the terminal state
+		return true
+	}
+	return false
+}
+
+// List returns all jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.viewLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Counts returns the number of jobs per state.
+func (m *Manager) Counts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range m.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+func (m *Manager) viewLocked(j *Job) JobView {
+	v := JobView{
+		ID:          j.ID,
+		Kind:        j.Kind,
+		State:       j.State,
+		Cached:      j.Cached,
+		Request:     j.Request,
+		Result:      j.Result,
+		Error:       j.Err,
+		SubmittedAt: j.SubmittedAt,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		v.StartedAt = &t
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// Shutdown stops accepting jobs and drains the queue: queued and
+// running jobs complete normally. If ctx expires first, every remaining
+// job's context is cancelled and Shutdown waits for the workers to
+// observe that before returning ctx.Err().
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.stopAll()
+		<-done
+		return ctx.Err()
+	}
+}

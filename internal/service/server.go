@@ -1,0 +1,517 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dwarn/internal/config"
+	"dwarn/internal/core"
+	"dwarn/internal/sim"
+	"dwarn/internal/stats"
+	"dwarn/internal/workload"
+)
+
+// Options configures a Server; zero values take the defaults below.
+type Options struct {
+	// Workers is the simulation worker pool size (default 4).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 256).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 4096).
+	CacheEntries int
+	// MaxCycles caps per-request warmup and measure cycles; 0 applies
+	// the default cap of 5M, negative disables the cap.
+	MaxCycles int64
+	// MaxBodyBytes caps request bodies (default 1MB).
+	MaxBodyBytes int64
+	// MaxJobRecords bounds retained terminal job records (default 4096).
+	MaxJobRecords int
+	// MaxSweepRecords bounds retained sweep records (default 256).
+	MaxSweepRecords int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 5_000_000
+	}
+	if o.MaxCycles < 0 {
+		o.MaxCycles = 0
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxJobRecords <= 0 {
+		o.MaxJobRecords = 4096
+	}
+	if o.MaxSweepRecords <= 0 {
+		o.MaxSweepRecords = 256
+	}
+	return o
+}
+
+// sweep tracks one sweep's fan-out. jobIDs may be shorter than cells
+// while fan-out is in progress or after it aborted (err is then set).
+type sweep struct {
+	id          string
+	submittedAt time.Time
+	cells       []SimulationRequest
+	jobIDs      []string
+	err         string // fan-out failure, terminal
+}
+
+// Server is the dwarnd HTTP service: REST handlers over a job Manager
+// and a content-addressed result Cache.
+type Server struct {
+	opts  Options
+	cache *Cache
+	mgr   *Manager
+	mux   *http.ServeMux
+	start time.Time
+
+	mu         sync.Mutex
+	sweeps     map[string]*sweep
+	sweepOrder []string
+	sweepSeq   uint64
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		cache:  NewCache(opts.CacheEntries),
+		mgr:    NewManager(opts.Workers, opts.QueueDepth, opts.MaxJobRecords),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		sweeps: make(map[string]*sweep),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("POST /v1/simulations", s.handleSubmitSimulation)
+	s.mux.HandleFunc("GET /v1/simulations", s.handleListSimulations)
+	s.mux.HandleFunc("GET /v1/simulations/{id}", s.handleGetSimulation)
+	s.mux.HandleFunc("DELETE /v1/simulations/{id}", s.handleCancelSimulation)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the job queue; see Manager.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// CacheStats exposes the result cache counters (used by tests and /healthz).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// ---- JSON helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// submitError maps Manager submission failures to HTTP statuses.
+func submitError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, err)
+}
+
+// ---- simulation execution ----
+
+// simKey is the cache key for a plain simulation payload;
+// simBaselinesKey for the payload that adds relative-IPC metrics.
+func simKey(fp string) string          { return "sim:" + fp }
+func simBaselinesKey(fp string) string { return "sim+baselines:" + fp }
+
+// runSim returns the marshaled SimulationResult for opts (no summary),
+// computing and caching it on a miss.
+func (s *Server) runSim(ctx context.Context, opts sim.Options) (json.RawMessage, bool, error) {
+	fp := sim.Fingerprint(opts, "")
+	return s.cache.GetOrCompute(ctx, simKey(fp), func() ([]byte, error) {
+		res, err := sim.RunContext(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(&SimulationResult{Fingerprint: fp, Result: res})
+	})
+}
+
+// decodeSim recovers the result record from cached payload bytes.
+func decodeSim(raw []byte) (*SimulationResult, error) {
+	var sr SimulationResult
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return nil, fmt.Errorf("service: corrupt cached result: %w", err)
+	}
+	return &sr, nil
+}
+
+// runSimWithBaselines additionally runs each distinct benchmark solo
+// under ICOUNT — every solo run is its own cache entry, shared with any
+// other request that needs the same baseline — and attaches the
+// relative-IPC summary.
+func (s *Server) runSimWithBaselines(ctx context.Context, opts sim.Options) (json.RawMessage, bool, error) {
+	fp := sim.Fingerprint(opts, "")
+	return s.cache.GetOrCompute(ctx, simBaselinesKey(fp), func() ([]byte, error) {
+		raw, _, err := s.runSim(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := decodeSim(raw)
+		if err != nil {
+			return nil, err
+		}
+
+		soloIPC := make(map[string]float64)
+		for _, bench := range opts.Workload.Benchmarks {
+			if _, ok := soloIPC[bench]; ok {
+				continue
+			}
+			soloOpts := sim.Options{
+				Config:        opts.Config,
+				Policy:        "icount",
+				Workload:      sim.SoloWorkload(bench),
+				Seed:          opts.Seed,
+				WarmupCycles:  opts.WarmupCycles,
+				MeasureCycles: opts.MeasureCycles,
+			}
+			soloRaw, _, err := s.runSim(ctx, soloOpts)
+			if err != nil {
+				return nil, err
+			}
+			soloRes, err := decodeSim(soloRaw)
+			if err != nil {
+				return nil, err
+			}
+			soloIPC[bench] = soloRes.Result.Threads[0].IPC
+		}
+
+		smt := sr.Result.IPCs()
+		solo := make([]float64, len(sr.Result.Threads))
+		for i, t := range sr.Result.Threads {
+			solo[i] = soloIPC[t.Benchmark]
+		}
+		sr.Summary, err = stats.Summarize(smt, solo)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(sr)
+	})
+}
+
+// submitSimulationJob validates req and either completes it instantly
+// from the cache or enqueues it.
+func (s *Server) submitSimulationJob(req SimulationRequest) (JobView, error) {
+	opts, err := req.resolve(s.opts.MaxCycles)
+	if err != nil {
+		return JobView{}, err
+	}
+
+	fp := sim.Fingerprint(opts, "")
+	key := simKey(fp)
+	run := s.runSim
+	if req.Baselines {
+		key = simBaselinesKey(fp)
+		run = s.runSimWithBaselines
+	}
+
+	// Fast path: an identical request already paid for this result, so
+	// the job completes at submission time without taking a queue slot.
+	// Peek rather than Get: a miss here is not an outcome — the queued
+	// job's GetOrCompute records it.
+	if raw, ok := s.cache.Peek(key); ok {
+		j, err := s.mgr.SubmitCompleted("sim", req, raw, true)
+		if err != nil {
+			return JobView{}, err
+		}
+		v, _ := s.mgr.Get(j.ID)
+		return v, nil
+	}
+
+	j, err := s.mgr.Submit("sim", req, func(ctx context.Context) (json.RawMessage, bool, error) {
+		return run(ctx, opts)
+	})
+	if err != nil {
+		return JobView{}, err
+	}
+	v, _ := s.mgr.Get(j.ID)
+	return v, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sweeps := len(s.sweeps)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.opts.Workers,
+		"queue_depth":    s.opts.QueueDepth,
+		"jobs":           s.mgr.Counts(),
+		"sweeps":         sweeps,
+		"cache":          s.cache.Stats(),
+	})
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policies": core.Policies(),
+		"paper":    core.PaperPolicies(),
+	})
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"machines": config.Machines()})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type wl struct {
+		Name       string   `json:"name"`
+		Threads    int      `json:"threads"`
+		Mix        string   `json:"mix"`
+		Benchmarks []string `json:"benchmarks"`
+	}
+	var out []wl
+	for _, w := range workload.Workloads() {
+		out = append(out, wl{Name: w.Name, Threads: w.Threads, Mix: w.Mix.String(), Benchmarks: w.Benchmarks})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	type bench struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	var out []bench
+	for _, name := range workload.Names() {
+		p, err := workload.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, bench{Name: name, Type: p.Type.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
+}
+
+func (s *Server) handleSubmitSimulation(w http.ResponseWriter, r *http.Request) {
+	var req SimulationRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	v, err := s.submitSimulationJob(req)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+			submitError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleListSimulations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleGetSimulation(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancelSimulation(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.mgr.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		return
+	}
+	if !s.mgr.Cancel(id) {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: job %q already finished", id))
+		return
+	}
+	v, _ := s.mgr.Get(id)
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cells, err := req.cells(s.opts.MaxCycles)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Register the sweep before fanning out so a mid-fan-out failure
+	// leaves an observable record rather than orphaned jobs.
+	s.mu.Lock()
+	s.sweepSeq++
+	sw := &sweep{
+		id:          fmt.Sprintf("sweep-%06d", s.sweepSeq),
+		submittedAt: time.Now(),
+		cells:       cells,
+	}
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	for len(s.sweepOrder) > s.opts.MaxSweepRecords {
+		delete(s.sweeps, s.sweepOrder[0])
+		s.sweepOrder = s.sweepOrder[1:]
+	}
+	s.mu.Unlock()
+
+	for _, cell := range cells {
+		v, err := s.submitSimulationJob(cell)
+		if err != nil {
+			// Stop the cells already submitted and record the failure on
+			// the sweep itself; the 503 body carries the partial state.
+			s.mu.Lock()
+			sw.err = fmt.Sprintf("cell %s/%s/%s: %v", cell.Machine, cell.Policy, cell.Workload, err)
+			ids := append([]string(nil), sw.jobIDs...)
+			s.mu.Unlock()
+			for _, id := range ids {
+				s.mgr.Cancel(id)
+			}
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, s.sweepStatus(sw))
+			return
+		}
+		s.mu.Lock()
+		sw.jobIDs = append(sw.jobIDs, v.ID)
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusAccepted, s.sweepStatus(sw))
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
+}
+
+// sweepStatus assembles the aggregate view of a sweep from its jobs.
+func (s *Server) sweepStatus(sw *sweep) *SweepStatus {
+	s.mu.Lock()
+	jobIDs := append([]string(nil), sw.jobIDs...)
+	fanOutErr := sw.err
+	s.mu.Unlock()
+
+	st := &SweepStatus{
+		ID:          sw.id,
+		SubmittedAt: sw.submittedAt,
+		Total:       len(sw.cells),
+		Error:       fanOutErr,
+		Cells:       make([]SweepCell, 0, len(sw.cells)),
+	}
+	for i, req := range sw.cells {
+		cell := SweepCell{
+			Machine:  req.Machine,
+			Policy:   req.Policy,
+			Workload: req.Workload,
+		}
+		if i >= len(jobIDs) {
+			cell.State = "unsubmitted"
+			st.Cells = append(st.Cells, cell)
+			continue
+		}
+		cell.JobID = jobIDs[i]
+		v, ok := s.mgr.Get(cell.JobID)
+		if !ok {
+			// The job record aged out of the retention window.
+			cell.State = "expired"
+			st.Cells = append(st.Cells, cell)
+			continue
+		}
+		cell.State = v.State
+		cell.Error = v.Error
+		switch v.State {
+		case StateDone:
+			st.Done++
+			if sr, err := decodeSim(v.Result); err == nil {
+				t := sr.Result.Throughput
+				cell.Throughput = &t
+				if sr.Summary != nil {
+					h, ws := sr.Summary.Hmean, sr.Summary.WeightedSpeedup
+					cell.Hmean = &h
+					cell.WeightedSpeedup = &ws
+				}
+			}
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+		st.Cells = append(st.Cells, cell)
+	}
+	switch {
+	case fanOutErr != "":
+		st.State = StateFailed
+	case st.Done == st.Total:
+		st.State = StateDone
+	case st.Done+st.Failed+st.Canceled == st.Total && st.Failed > 0:
+		st.State = StateFailed
+	case st.Done+st.Failed+st.Canceled == st.Total:
+		st.State = StateCanceled
+	default:
+		st.State = StateRunning
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dwarn/internal/config"
+	"dwarn/internal/workload"
+)
+
+// Fingerprint returns a content-addressed identity for a simulation: a
+// hex SHA-256 over every input that determines its outcome — the full
+// machine configuration, the policy identity, the workload (including
+// the calibrated profile of every benchmark, so re-registering a
+// benchmark changes the key), the seed, and the run lengths, all with
+// defaults applied. Two Options with equal fingerprints produce
+// byte-identical Results, which is what lets the exp memoiser and the
+// dwarnd result cache share one cache identity.
+//
+// policyID overrides the policy component of the key; pass it for
+// parameterised PolicyInstance runs whose Name() alone does not encode
+// their parameters (the exp ablations label such runs "stall-t6",
+// "dg-n2", ...). When empty, opts.Policy or PolicyInstance.Name() is
+// used.
+func Fingerprint(opts Options, policyID string) string {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = config.Baseline()
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	warmup := opts.WarmupCycles
+	if warmup == 0 {
+		warmup = DefaultWarmupCycles
+	}
+	measure := opts.MeasureCycles
+	if measure == 0 {
+		measure = DefaultMeasureCycles
+	}
+	if policyID == "" {
+		if opts.PolicyInstance != nil {
+			policyID = "instance:" + opts.PolicyInstance.Name()
+		} else {
+			policyID = opts.Policy
+		}
+	}
+
+	// %#v over value-only structs is deterministic and automatically
+	// covers fields added later, at the cost of keys not being stable
+	// across releases — fine for an in-process/in-memory cache identity.
+	h := sha256.New()
+	fmt.Fprintf(h, "machine|%#v\n", *cfg)
+	fmt.Fprintf(h, "policy|%s\n", policyID)
+	fmt.Fprintf(h, "workload|%s|%d|%s\n", opts.Workload.Name, opts.Workload.Threads, opts.Workload.Mix)
+	for _, b := range opts.Workload.Benchmarks {
+		if p, err := workload.Get(b); err == nil {
+			fmt.Fprintf(h, "bench|%#v\n", *p)
+		} else {
+			fmt.Fprintf(h, "bench|unknown:%s\n", b)
+		}
+	}
+	fmt.Fprintf(h, "protocol|seed=%d|warmup=%d|measure=%d\n", seed, warmup, measure)
+	return hex.EncodeToString(h.Sum(nil))
+}

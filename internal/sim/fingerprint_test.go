@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dwarn/internal/config"
+	"dwarn/internal/workload"
+)
+
+func testOpts(t *testing.T) Options {
+	t.Helper()
+	wl, err := workload.GetWorkload("2-MIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{Policy: "dwarn", Workload: wl, WarmupCycles: 1000, MeasureCycles: 2000}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := testOpts(t)
+	fp := Fingerprint(base, "")
+	if fp == "" || fp != Fingerprint(base, "") {
+		t.Fatal("fingerprint not stable")
+	}
+
+	// Defaults are applied before hashing: explicit defaults and zero
+	// values are the same simulation.
+	explicit := base
+	explicit.Config = config.Baseline()
+	explicit.Seed = DefaultSeed
+	if Fingerprint(explicit, "") != fp {
+		t.Error("explicit defaults changed the fingerprint")
+	}
+
+	variants := map[string]Options{}
+	v := base
+	v.Seed = 99
+	variants["seed"] = v
+	v = base
+	v.Policy = "icount"
+	variants["policy"] = v
+	v = base
+	v.MeasureCycles = 4000
+	variants["measure"] = v
+	v = base
+	v.Config = config.Deep()
+	variants["machine"] = v
+	v = base
+	v.Workload, _ = workload.GetWorkload("2-MEM")
+	variants["workload"] = v
+	for name, opt := range variants {
+		if Fingerprint(opt, "") == fp {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+
+	if Fingerprint(base, "stall-t6") == fp {
+		t.Error("policyID override did not change the fingerprint")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	opts := testOpts(t)
+	opts.WarmupCycles = 100_000_000
+	opts.MeasureCycles = 100_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := RunContext(ctx, opts); err != context.Canceled {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dwarn/internal/bpred"
@@ -101,6 +102,35 @@ func (r *Result) FlushedFraction() float64 {
 
 // Run executes one simulation.
 func Run(opts Options) (*Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// cancelCheckInterval is how many cycles RunContext simulates between
+// context checks: coarse enough that the check is free relative to the
+// cycle loop, fine enough that cancellation lands within microseconds.
+const cancelCheckInterval = 4096
+
+// runCycles advances the CPU n cycles, polling ctx between chunks.
+func runCycles(ctx context.Context, cpu *pipeline.CPU, n int64) error {
+	for n > 0 {
+		chunk := int64(cancelCheckInterval)
+		if n < chunk {
+			chunk = n
+		}
+		cpu.Run(chunk)
+		n -= chunk
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunContext executes one simulation, abandoning it (and returning
+// ctx.Err()) if the context is cancelled mid-run. This is the entry
+// point long-lived callers (the dwarnd service) use so a disconnected
+// or superseded request stops burning CPU.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	cfg := opts.Config
 	if cfg == nil {
 		cfg = config.Baseline()
@@ -137,9 +167,13 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	prewarm(cpu, gens)
-	cpu.Run(warmup)
+	if err := runCycles(ctx, cpu, warmup); err != nil {
+		return nil, err
+	}
 	cpu.ResetStats()
-	cpu.Run(measure)
+	if err := runCycles(ctx, cpu, measure); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Workload: opts.Workload.Name,

@@ -107,3 +107,32 @@ func Mean(xs []float64) float64 {
 	}
 	return sum / float64(len(xs))
 }
+
+// Summary bundles the paper's aggregate metrics for one SMT run against
+// its solo baselines. It is the JSON shape dwarnd returns for sweep
+// cells, so field tags are part of the service API.
+type Summary struct {
+	// Throughput is the sum of per-thread IPCs.
+	Throughput float64 `json:"throughput"`
+	// Hmean is the harmonic mean of relative IPCs (throughput-fairness).
+	Hmean float64 `json:"hmean"`
+	// WeightedSpeedup is the arithmetic mean of relative IPCs.
+	WeightedSpeedup float64 `json:"weighted_speedup"`
+	// RelativeIPCs is each thread's SMT IPC over its solo IPC.
+	RelativeIPCs []float64 `json:"relative_ipcs"`
+}
+
+// Summarize computes all aggregate metrics from per-thread SMT IPCs and
+// their solo baselines.
+func Summarize(smt, solo []float64) (*Summary, error) {
+	rel, err := RelativeIPCs(smt, solo)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{
+		Throughput:      Throughput(smt),
+		Hmean:           Hmean(rel),
+		WeightedSpeedup: WeightedSpeedup(rel),
+		RelativeIPCs:    rel,
+	}, nil
+}

@@ -99,6 +99,38 @@ func GetWorkload(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("workload: unknown workload %q (known: %v)", name, known)
 }
 
+// Custom builds a user-defined workload from benchmark names: the
+// thread count is the benchmark count and the Mix class is inferred
+// from the profiles' MEM/ILP types, the same rule Table 2(b) follows.
+func Custom(name string, benchmarks []string) (Workload, error) {
+	w := Workload{
+		Name:       name,
+		Threads:    len(benchmarks),
+		Benchmarks: append([]string(nil), benchmarks...),
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	var mem, ilp bool
+	for _, b := range benchmarks {
+		p, _ := Get(b) // Validate above guarantees the lookup succeeds
+		if p.Type == MEM {
+			mem = true
+		} else {
+			ilp = true
+		}
+	}
+	switch {
+	case mem && ilp:
+		w.Mix = MixMIX
+	case mem:
+		w.Mix = MixMEM
+	default:
+		w.Mix = MixILP
+	}
+	return w, nil
+}
+
 // Validate checks a (possibly user-defined) workload.
 func (w *Workload) Validate() error {
 	if w.Name == "" {
