@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +21,7 @@ import (
 	"time"
 
 	"dwarn/internal/exp"
+	"dwarn/internal/out"
 )
 
 func main() {
@@ -64,9 +64,7 @@ func main() {
 		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(all); err != nil {
+		if err := out.WriteJSON(os.Stdout, all); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -6,6 +6,11 @@
 //	smtsim -policy dwarn -workload 4-MIX
 //	smtsim -policy flush -workload 8-MEM -machine deep -measure 300000
 //	smtsim -solo mcf
+//	smtsim -policy dwarn -workload 4-MIX -json
+//	smtsim -policy icount -workload 2-MEM -trace run.dwt   # record a uop trace
+//
+// A trace recorded with -trace replays through `smttrace replay` under
+// any policy, reproducing this run bit for bit.
 package main
 
 import (
@@ -16,20 +21,24 @@ import (
 
 	"dwarn/internal/config"
 	"dwarn/internal/core"
+	"dwarn/internal/out"
 	"dwarn/internal/sim"
+	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
 
 func main() {
 	var (
-		policy   = flag.String("policy", "dwarn", "fetch policy: "+strings.Join(core.Policies(), ", "))
-		wlName   = flag.String("workload", "4-MIX", "Table 2(b) workload name")
-		solo     = flag.String("solo", "", "run one benchmark alone instead of a workload")
-		machine  = flag.String("machine", "baseline", "machine: baseline, small, deep")
-		seed     = flag.Uint64("seed", sim.DefaultSeed, "random seed")
-		warmup   = flag.Int64("warmup", 60000, "warmup cycles")
-		measure  = flag.Int64("measure", 150000, "measured cycles")
-		listWork = flag.Bool("list", false, "list workloads and benchmarks, then exit")
+		policy    = flag.String("policy", "dwarn", "fetch policy: "+strings.Join(core.Policies(), ", "))
+		wlName    = flag.String("workload", "4-MIX", "Table 2(b) workload name")
+		solo      = flag.String("solo", "", "run one benchmark alone instead of a workload")
+		machine   = flag.String("machine", "baseline", "machine: baseline, small, deep")
+		seed      = flag.Uint64("seed", sim.DefaultSeed, "random seed")
+		warmup    = flag.Int64("warmup", 60000, "warmup cycles")
+		measure   = flag.Int64("measure", 150000, "measured cycles")
+		asJSON    = flag.Bool("json", false, "emit the full result record as JSON")
+		tracePath = flag.String("trace", "", "record the run's uop streams to this trace file")
+		listWork  = flag.Bool("list", false, "list workloads and benchmarks, then exit")
 	)
 	flag.Parse()
 
@@ -58,10 +67,16 @@ func main() {
 		}
 	}
 
+	var rec *trace.Writer
+	if *tracePath != "" {
+		rec = trace.NewWriter(wl.Name, *seed)
+	}
+
 	res, err := sim.Run(sim.Options{
 		Config:        cfg,
 		Policy:        *policy,
 		Workload:      wl,
+		Record:        rec,
 		Seed:          *seed,
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
@@ -70,32 +85,28 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("machine=%s policy=%s workload=%s cycles=%d\n", res.Machine, res.Policy, res.Workload, res.Cycles)
-	fmt.Printf("throughput: %.3f IPC\n", res.Throughput)
-	if f := res.FlushedFraction(); f > 0 {
-		fmt.Printf("flushed/fetched: %.1f%%\n", 100*f)
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := rec.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smtsim: recorded %s (%d bytes)\n", *tracePath, n)
 	}
-	for i, t := range res.Threads {
-		fmt.Printf("  t%d %-8s IPC %.3f  fetched %d (wp %.0f%%)  L1m %.4f  L2m %.4f  TLBm %d  bpred-mr %.3f  imiss %.4f\n",
-			i, t.Benchmark, t.IPC,
-			t.Pipeline.Fetched, 100*float64(t.Pipeline.WrongPathFetched)/float64(max64(t.Pipeline.Fetched, 1)),
-			t.Mem.LoadL1MissRate(), t.Mem.LoadL2MissRate(), t.Mem.TLBMisses,
-			t.Bpred.MispredictRate(), imissRate(t))
-	}
-}
 
-func imissRate(t sim.ThreadResult) float64 {
-	if t.Mem.IFetches == 0 {
-		return 0
+	if *asJSON {
+		if err := out.WriteJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	return float64(t.Mem.IMisses) / float64(t.Mem.IFetches)
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
+	out.PrintResult(os.Stdout, res)
 }
 
 func fatal(err error) {

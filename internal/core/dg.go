@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dwarn/internal/isa"
 	"dwarn/internal/pipeline"
 )
@@ -30,6 +32,9 @@ func NewDGThreshold(n int) *DG { return &DG{n: n} }
 
 // Name implements pipeline.FetchPolicy.
 func (p *DG) Name() string { return "DG" }
+
+// Params implements pipeline.ParameterizedPolicy.
+func (p *DG) Params() string { return fmt.Sprintf("n=%d", p.n) }
 
 // Attach implements pipeline.FetchPolicy.
 func (p *DG) Attach(cpu *pipeline.CPU) { p.cpu = cpu }
@@ -75,6 +80,9 @@ func NewPDGThreshold(n int) *PDG { return &PDG{n: n} }
 
 // Name implements pipeline.FetchPolicy.
 func (p *PDG) Name() string { return "PDG" }
+
+// Params implements pipeline.ParameterizedPolicy.
+func (p *PDG) Params() string { return fmt.Sprintf("n=%d", p.n) }
 
 // Attach implements pipeline.FetchPolicy.
 func (p *PDG) Attach(cpu *pipeline.CPU) {

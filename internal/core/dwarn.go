@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dwarn/internal/pipeline"
 )
 
@@ -41,6 +43,9 @@ func NewDWarnPrio() *DWarn { return &DWarn{hybrid: false, name: "DWarn-Prio"} }
 
 // Name implements pipeline.FetchPolicy.
 func (p *DWarn) Name() string { return p.name }
+
+// Params implements pipeline.ParameterizedPolicy.
+func (p *DWarn) Params() string { return fmt.Sprintf("hybrid=%v", p.hybrid) }
 
 // Attach implements pipeline.FetchPolicy.
 func (p *DWarn) Attach(cpu *pipeline.CPU) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dwarn/internal/pipeline"
 )
 
@@ -151,6 +153,9 @@ func NewSTALLThreshold(threshold int64) *STALL {
 // Name implements pipeline.FetchPolicy.
 func (p *STALL) Name() string { return "STALL" }
 
+// Params implements pipeline.ParameterizedPolicy.
+func (p *STALL) Params() string { return fmt.Sprintf("threshold=%d", p.det.threshold) }
+
 // Attach implements pipeline.FetchPolicy.
 func (p *STALL) Attach(cpu *pipeline.CPU) { p.det.attach(cpu) }
 
@@ -198,6 +203,9 @@ func NewFLUSHThreshold(threshold int64) *FLUSH {
 
 // Name implements pipeline.FetchPolicy.
 func (p *FLUSH) Name() string { return "FLUSH" }
+
+// Params implements pipeline.ParameterizedPolicy.
+func (p *FLUSH) Params() string { return fmt.Sprintf("threshold=%d", p.det.threshold) }
 
 // Attach implements pipeline.FetchPolicy.
 func (p *FLUSH) Attach(cpu *pipeline.CPU) {

@@ -1,0 +1,49 @@
+// Package out holds the result-encoding helpers shared by the CLIs
+// (cmd/smtsim, cmd/smttrace, cmd/experiments), so machine-readable and
+// human-readable renderings of a simulation exist in exactly one place.
+package out
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dwarn/internal/sim"
+)
+
+// WriteJSON encodes v as two-space-indented JSON with HTML escaping
+// off — the one JSON shape every CLI's -json flag emits.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// PrintResult renders one simulation result as the standard per-thread
+// text block.
+func PrintResult(w io.Writer, res *sim.Result) {
+	fmt.Fprintf(w, "machine=%s policy=%s workload=%s cycles=%d\n", res.Machine, res.Policy, res.Workload, res.Cycles)
+	fmt.Fprintf(w, "throughput: %.3f IPC\n", res.Throughput)
+	if f := res.FlushedFraction(); f > 0 {
+		fmt.Fprintf(w, "flushed/fetched: %.1f%%\n", 100*f)
+	}
+	for i, t := range res.Threads {
+		fetched := t.Pipeline.Fetched
+		if fetched == 0 {
+			fetched = 1
+		}
+		fmt.Fprintf(w, "  t%d %-8s IPC %.3f  fetched %d (wp %.0f%%)  L1m %.4f  L2m %.4f  TLBm %d  bpred-mr %.3f  imiss %.4f\n",
+			i, t.Benchmark, t.IPC,
+			t.Pipeline.Fetched, 100*float64(t.Pipeline.WrongPathFetched)/float64(fetched),
+			t.Mem.LoadL1MissRate(), t.Mem.LoadL2MissRate(), t.Mem.TLBMisses,
+			t.Bpred.MispredictRate(), imissRate(&t))
+	}
+}
+
+func imissRate(t *sim.ThreadResult) float64 {
+	if t.Mem.IFetches == 0 {
+		return 0
+	}
+	return float64(t.Mem.IMisses) / float64(t.Mem.IFetches)
+}

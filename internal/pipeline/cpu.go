@@ -60,19 +60,21 @@ type CPU struct {
 	Stats CPUStats
 }
 
-// New builds a CPU running one thread per generator under the given
-// policy. len(gens) must not exceed cfg.HardwareContexts.
-func New(cfg *config.Processor, policy FetchPolicy, gens []*workload.Generator) (*CPU, error) {
+// New builds a CPU running one thread per uop source under the given
+// policy. len(srcs) must not exceed cfg.HardwareContexts. Sources may
+// be live synthetic generators or trace replayers — the pipeline sees
+// only the workload.Source seam.
+func New(cfg *config.Processor, policy FetchPolicy, srcs []workload.Source) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(gens) == 0 {
+	if len(srcs) == 0 {
 		return nil, fmt.Errorf("pipeline: need at least one thread")
 	}
-	if len(gens) > cfg.HardwareContexts {
-		return nil, fmt.Errorf("pipeline: %d threads exceed %d hardware contexts", len(gens), cfg.HardwareContexts)
+	if len(srcs) > cfg.HardwareContexts {
+		return nil, fmt.Errorf("pipeline: %d threads exceed %d hardware contexts", len(srcs), cfg.HardwareContexts)
 	}
-	n := len(gens)
+	n := len(srcs)
 	c := &CPU{
 		cfg:    cfg,
 		policy: policy,
@@ -89,8 +91,8 @@ func New(cfg *config.Processor, policy FetchPolicy, gens []*workload.Generator) 
 	c.intReady = make([]bool, cfg.PhysIntRegs)
 	c.fpReady = make([]bool, cfg.PhysFPRegs)
 	c.threads = make([]*thread, n)
-	for i, g := range gens {
-		t := &thread{id: i, gen: g}
+	for i, src := range srcs {
+		t := &thread{id: i, src: src}
 		for a := 0; a < isa.NumIntRegs; a++ {
 			p := int32(i*isa.NumIntRegs + a)
 			t.intMap[a] = p

@@ -59,3 +59,12 @@ type FetchPolicy interface {
 	// such as PDG's predictor may be preserved; gates must clear).
 	Reset()
 }
+
+// ParameterizedPolicy is optionally implemented by policies whose
+// behaviour is tuned by parameters Name() does not encode (declaration
+// thresholds, gate counts). Params returns a stable, human-readable
+// rendering of those parameters; content-addressed caches fold it into
+// their keys so a threshold sweep never collides with the base policy.
+type ParameterizedPolicy interface {
+	Params() string
+}

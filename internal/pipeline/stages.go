@@ -450,7 +450,7 @@ func (c *CPU) fetchFrom(t *thread, budget int, now int64) int {
 		if d.Pred.Mispredicted {
 			t.pendingBranch = d
 			t.wrongPath = true
-			t.gen.StartWrongPath(uop.Seq, t.gen.WrongPathPC(&d.U, d.Pred.Taken))
+			t.src.StartWrongPath(uop.Seq, t.src.WrongPathPC(&d.U, d.Pred.Taken))
 		} else if d.Pred.Resteer {
 			// Decode recomputes the direct target: a short fetch bubble.
 			t.redirectAt = now + resteerPenalty

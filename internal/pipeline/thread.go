@@ -75,7 +75,7 @@ func (t *ThreadStats) CommittedL1ToL2Ratio() float64 {
 // thread is the per-hardware-context pipeline state.
 type thread struct {
 	id  int
-	gen *workload.Generator
+	src workload.Source
 
 	// Fetch-side state.
 	peeked    *isa.Uop // one-uop lookahead for the current stream
@@ -126,12 +126,12 @@ func (t *thread) peek() *isa.Uop {
 		var u isa.Uop
 		switch {
 		case t.wrongPath:
-			u = t.gen.NextWrongPath()
+			u = t.src.NextWrongPath()
 		case len(t.replay) > 0:
 			u = t.replay[0]
 			t.replay = t.replay[1:]
 		default:
-			u = t.gen.Next()
+			u = t.src.Next()
 		}
 		t.peeked = &u
 	}

@@ -31,6 +31,11 @@ type SimulationRequest struct {
 	Workload string `json:"workload,omitempty"`
 	// Benchmarks builds a custom workload from benchmark names instead.
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Trace replays an uploaded uop trace (POST /v1/traces) instead of
+	// running synthetic generators: its value is the trace id (content
+	// digest, or an unambiguous prefix of at least 8 characters).
+	// Mutually exclusive with Workload and Benchmarks.
+	Trace string `json:"trace,omitempty"`
 	// Seed drives all synthetic randomness (0 = the default seed).
 	Seed uint64 `json:"seed,omitempty"`
 	// WarmupCycles and MeasureCycles control the protocol (0 = defaults).
@@ -60,8 +65,13 @@ type SweepRequest struct {
 	Machines []string `json:"machines,omitempty"`
 	// Policies defaults to the six paper policies.
 	Policies []string `json:"policies,omitempty"`
-	// Workloads must name at least one Table 2(b) workload.
-	Workloads []string `json:"workloads"`
+	// Workloads names Table 2(b) workloads; required unless Trace is
+	// set.
+	Workloads []string `json:"workloads,omitempty"`
+	// Trace sweeps policies over one uploaded trace instead of
+	// synthetic workloads (the byte-exact cross-policy comparison
+	// traces exist for). Mutually exclusive with Workloads.
+	Trace string `json:"trace,omitempty"`
 	// Seed, WarmupCycles, MeasureCycles as in SimulationRequest.
 	Seed          uint64 `json:"seed,omitempty"`
 	WarmupCycles  int64  `json:"warmup_cycles,omitempty"`
@@ -74,7 +84,8 @@ type SweepRequest struct {
 type SweepCell struct {
 	Machine  string `json:"machine"`
 	Policy   string `json:"policy"`
-	Workload string `json:"workload"`
+	Workload string `json:"workload,omitempty"`
+	Trace    string `json:"trace,omitempty"`
 	// JobID is the cell's simulation job; poll it for the full result.
 	JobID string `json:"job_id"`
 	State string `json:"state"`
@@ -105,10 +116,11 @@ type SweepStatus struct {
 // bloat job records or cache keys.
 const maxNameLen = 128
 
-// resolve validates a SimulationRequest against the registries and
-// converts it to sim.Options. maxCycles bounds the requested run
-// lengths (0 = unbounded).
-func (req *SimulationRequest) resolve(maxCycles int64) (sim.Options, error) {
+// resolve validates a SimulationRequest against the registries (and,
+// for trace-driven requests, the trace store) and converts it to
+// sim.Options. maxCycles bounds the requested run lengths (0 =
+// unbounded).
+func (req *SimulationRequest) resolve(maxCycles int64, traces *TraceStore) (sim.Options, error) {
 	var opts sim.Options
 
 	cfg, err := config.ByName(req.Machine)
@@ -123,10 +135,51 @@ func (req *SimulationRequest) resolve(maxCycles int64) (sim.Options, error) {
 		return opts, err
 	}
 
+	set := 0
+	for _, ok := range []bool{req.Workload != "", len(req.Benchmarks) > 0, req.Trace != ""} {
+		if ok {
+			set++
+		}
+	}
+	if set > 1 {
+		return opts, fmt.Errorf("service: set exactly one of workload, benchmarks, trace")
+	}
+
+	if req.Trace != "" {
+		if len(req.Trace) > maxNameLen {
+			return opts, fmt.Errorf("service: name too long")
+		}
+		if req.Baselines {
+			// Relative-IPC baselines re-run each benchmark solo through
+			// the synthetic generators, which a trace run replaces.
+			return opts, fmt.Errorf("service: baselines are not supported for trace runs")
+		}
+		tr, err := traces.Get(req.Trace)
+		if err != nil {
+			return opts, err
+		}
+		if len(tr.Threads) > cfg.HardwareContexts {
+			return opts, fmt.Errorf("service: trace has %d threads but the %s machine has %d hardware contexts",
+				len(tr.Threads), cfg.Name, cfg.HardwareContexts)
+		}
+		if err := checkCycles(req.WarmupCycles, req.MeasureCycles, maxCycles); err != nil {
+			return opts, err
+		}
+		if len(req.Machine) > maxNameLen || len(req.Policy) > maxNameLen {
+			return opts, fmt.Errorf("service: name too long")
+		}
+		return sim.Options{
+			Config:        cfg,
+			Policy:        req.Policy,
+			Trace:         tr,
+			Seed:          req.Seed,
+			WarmupCycles:  req.WarmupCycles,
+			MeasureCycles: req.MeasureCycles,
+		}, nil
+	}
+
 	var wl workload.Workload
 	switch {
-	case req.Workload != "" && len(req.Benchmarks) > 0:
-		return opts, fmt.Errorf("service: set workload or benchmarks, not both")
 	case req.Workload != "":
 		wl, err = workload.GetWorkload(req.Workload)
 		if err != nil {
@@ -151,11 +204,8 @@ func (req *SimulationRequest) resolve(maxCycles int64) (sim.Options, error) {
 			wl.Name, wl.Threads, cfg.Name, cfg.HardwareContexts)
 	}
 
-	if req.WarmupCycles < 0 || req.MeasureCycles < 0 {
-		return opts, fmt.Errorf("service: cycle counts must be non-negative")
-	}
-	if maxCycles > 0 && (req.WarmupCycles > maxCycles || req.MeasureCycles > maxCycles) {
-		return opts, fmt.Errorf("service: cycle counts capped at %d per run", maxCycles)
+	if err := checkCycles(req.WarmupCycles, req.MeasureCycles, maxCycles); err != nil {
+		return opts, err
 	}
 	if len(req.Machine) > maxNameLen || len(req.Policy) > maxNameLen || len(req.Workload) > maxNameLen {
 		return opts, fmt.Errorf("service: name too long")
@@ -171,9 +221,22 @@ func (req *SimulationRequest) resolve(maxCycles int64) (sim.Options, error) {
 	}, nil
 }
 
+// checkCycles validates requested run lengths against the per-run cap.
+func checkCycles(warmup, measure, maxCycles int64) error {
+	if warmup < 0 || measure < 0 {
+		return fmt.Errorf("service: cycle counts must be non-negative")
+	}
+	if maxCycles > 0 && (warmup > maxCycles || measure > maxCycles) {
+		return fmt.Errorf("service: cycle counts capped at %d per run", maxCycles)
+	}
+	return nil
+}
+
 // cells expands a SweepRequest into per-cell SimulationRequests,
-// validating every cell before any job is created.
-func (req *SweepRequest) cells(maxCycles int64) ([]SimulationRequest, error) {
+// validating every cell before any job is created. A trace sweep fans
+// out machines × policies over the one uploaded trace; a workload
+// sweep adds the workload axis.
+func (req *SweepRequest) cells(maxCycles int64, traces *TraceStore) ([]SimulationRequest, error) {
 	machines := req.Machines
 	if len(machines) == 0 {
 		machines = []string{"baseline"}
@@ -182,28 +245,40 @@ func (req *SweepRequest) cells(maxCycles int64) ([]SimulationRequest, error) {
 	if len(policies) == 0 {
 		policies = core.PaperPolicies()
 	}
-	if len(req.Workloads) == 0 {
-		return nil, fmt.Errorf("service: sweep needs at least one workload")
+	switch {
+	case req.Trace != "" && len(req.Workloads) > 0:
+		return nil, fmt.Errorf("service: set workloads or trace, not both")
+	case req.Trace == "" && len(req.Workloads) == 0:
+		return nil, fmt.Errorf("service: sweep needs at least one workload or a trace")
+	}
+	workloads := req.Workloads
+	if req.Trace != "" {
+		workloads = []string{""} // one cell per machine × policy
 	}
 
-	out := make([]SimulationRequest, 0, len(machines)*len(policies)*len(req.Workloads))
+	out := make([]SimulationRequest, 0, len(machines)*len(policies)*len(workloads))
 	for _, m := range machines {
 		if m == "" {
 			m = "baseline"
 		}
 		for _, p := range policies {
-			for _, w := range req.Workloads {
+			for _, w := range workloads {
 				cell := SimulationRequest{
 					Machine:       m,
 					Policy:        p,
 					Workload:      w,
+					Trace:         req.Trace,
 					Seed:          req.Seed,
 					WarmupCycles:  req.WarmupCycles,
 					MeasureCycles: req.MeasureCycles,
 					Baselines:     req.Baselines,
 				}
-				if _, err := cell.resolve(maxCycles); err != nil {
-					return nil, fmt.Errorf("sweep cell %s/%s/%s: %w", m, p, w, err)
+				target := w
+				if cell.Trace != "" {
+					target = "trace:" + cell.Trace
+				}
+				if _, err := cell.resolve(maxCycles, traces); err != nil {
+					return nil, fmt.Errorf("sweep cell %s/%s/%s: %w", m, p, target, err)
 				}
 				out = append(out, cell)
 			}

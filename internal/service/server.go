@@ -33,6 +33,17 @@ type Options struct {
 	MaxJobRecords int
 	// MaxSweepRecords bounds retained sweep records (default 256).
 	MaxSweepRecords int
+	// MaxTraceBytes caps an uploaded trace file (compressed bytes on
+	// the wire; default 32MB).
+	MaxTraceBytes int64
+	// MaxTracePayload caps an uploaded trace's decompressed payload
+	// (decompression-bomb guard; default 256MB).
+	MaxTracePayload int64
+	// MaxTraces bounds the number of stored traces (default 16).
+	MaxTraces int
+	// MaxTraceStoreBytes bounds the traces' total in-memory payload
+	// (default 1GB).
+	MaxTraceStoreBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +71,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepRecords <= 0 {
 		o.MaxSweepRecords = 256
 	}
+	if o.MaxTraceBytes <= 0 {
+		o.MaxTraceBytes = 32 << 20
+	}
+	if o.MaxTracePayload <= 0 {
+		o.MaxTracePayload = 256 << 20
+	}
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = 16
+	}
+	if o.MaxTraceStoreBytes <= 0 {
+		o.MaxTraceStoreBytes = 1 << 30
+	}
 	return o
 }
 
@@ -76,11 +99,12 @@ type sweep struct {
 // Server is the dwarnd HTTP service: REST handlers over a job Manager
 // and a content-addressed result Cache.
 type Server struct {
-	opts  Options
-	cache *Cache
-	mgr   *Manager
-	mux   *http.ServeMux
-	start time.Time
+	opts   Options
+	cache  *Cache
+	mgr    *Manager
+	traces *TraceStore
+	mux    *http.ServeMux
+	start  time.Time
 
 	mu         sync.Mutex
 	sweeps     map[string]*sweep
@@ -95,6 +119,7 @@ func New(opts Options) *Server {
 		opts:   opts,
 		cache:  NewCache(opts.CacheEntries),
 		mgr:    NewManager(opts.Workers, opts.QueueDepth, opts.MaxJobRecords),
+		traces: NewTraceStore(opts.MaxTraces, opts.MaxTraceStoreBytes),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 		sweeps: make(map[string]*sweep),
@@ -115,6 +140,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/simulations/{id}", s.handleCancelSimulation)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("POST /v1/traces", s.handleUploadTrace)
+	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
 }
 
 // Handler returns the root http.Handler.
@@ -244,7 +272,7 @@ func (s *Server) runSimWithBaselines(ctx context.Context, opts sim.Options) (jso
 // submitSimulationJob validates req and either completes it instantly
 // from the cache or enqueues it.
 func (s *Server) submitSimulationJob(req SimulationRequest) (JobView, error) {
-	opts, err := req.resolve(s.opts.MaxCycles)
+	opts, err := req.resolve(s.opts.MaxCycles, s.traces)
 	if err != nil {
 		return JobView{}, err
 	}
@@ -293,6 +321,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":    s.opts.QueueDepth,
 		"jobs":           s.mgr.Counts(),
 		"sweeps":         sweeps,
+		"traces":         s.traces.Len(),
 		"cache":          s.cache.Stats(),
 	})
 }
@@ -387,7 +416,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	cells, err := req.cells(s.opts.MaxCycles)
+	cells, err := req.cells(s.opts.MaxCycles, s.traces)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -466,6 +495,7 @@ func (s *Server) sweepStatus(sw *sweep) *SweepStatus {
 			Machine:  req.Machine,
 			Policy:   req.Policy,
 			Workload: req.Workload,
+			Trace:    req.Trace,
 		}
 		if i >= len(jobIDs) {
 			cell.State = "unsubmitted"

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dwarn/internal/trace"
+)
+
+// TraceStore holds uploaded uop traces in memory, keyed by content
+// digest, with LRU eviction bounded by entry count and total payload
+// bytes. Uploads are idempotent: re-posting an identical trace refreshes
+// its LRU slot and returns the same id. Traces are immutable after
+// load, so concurrently running simulations keep working against an
+// evicted trace — eviction only removes the id from the index.
+type TraceStore struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	byDigest map[string]*storedTrace
+	order    []string // LRU: oldest first
+	bytes    int64
+}
+
+type storedTrace struct {
+	tr         *trace.Trace
+	size       int64
+	uploadedAt time.Time
+}
+
+// NewTraceStore bounds the store at maxEntries traces and maxBytes of
+// total decompressed payload.
+func NewTraceStore(maxEntries int, maxBytes int64) *TraceStore {
+	return &TraceStore{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		byDigest:   make(map[string]*storedTrace),
+	}
+}
+
+// Add stores tr (size is its payload footprint) and returns its id.
+func (s *TraceStore) Add(tr *trace.Trace, size int64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := tr.Digest
+	if old, ok := s.byDigest[id]; ok {
+		old.uploadedAt = time.Now()
+		s.touch(id)
+		return id
+	}
+	s.byDigest[id] = &storedTrace{tr: tr, size: size, uploadedAt: time.Now()}
+	s.order = append(s.order, id)
+	s.bytes += size
+	for (len(s.order) > s.maxEntries || s.bytes > s.maxBytes) && len(s.order) > 1 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		s.bytes -= s.byDigest[victim].size
+		delete(s.byDigest, victim)
+	}
+	return id
+}
+
+// touch moves id to the most-recently-used position.
+func (s *TraceStore) touch(id string) {
+	for i, d := range s.order {
+		if d == id {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), id)
+			return
+		}
+	}
+}
+
+// Get resolves an id — a full digest or an unambiguous prefix of at
+// least 8 hex characters — and refreshes its LRU slot.
+func (s *TraceStore) Get(id string) (*trace.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.byDigest[id]; ok {
+		s.touch(id)
+		return st.tr, nil
+	}
+	if len(id) >= 8 {
+		var matches []string
+		for d := range s.byDigest {
+			if strings.HasPrefix(d, id) {
+				matches = append(matches, d)
+			}
+		}
+		switch len(matches) {
+		case 1:
+			s.touch(matches[0])
+			return s.byDigest[matches[0]].tr, nil
+		case 0:
+		default:
+			return nil, fmt.Errorf("service: trace id %q is ambiguous (%d matches)", id, len(matches))
+		}
+	}
+	return nil, fmt.Errorf("service: no trace %q (upload via POST /v1/traces)", id)
+}
+
+// TraceView is the JSON shape of a stored trace.
+type TraceView struct {
+	ID         string    `json:"id"`
+	Workload   string    `json:"workload"`
+	Seed       uint64    `json:"seed"`
+	Threads    int       `json:"threads"`
+	Benchmarks []string  `json:"benchmarks"`
+	Uops       uint64    `json:"uops"`
+	Bytes      int64     `json:"bytes"`
+	UploadedAt time.Time `json:"uploaded_at"`
+}
+
+// List returns all stored traces, most recently used last.
+func (s *TraceStore) List() []TraceView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.view(id))
+	}
+	return out
+}
+
+func (s *TraceStore) view(id string) TraceView {
+	st := s.byDigest[id]
+	return TraceView{
+		ID:         id,
+		Workload:   st.tr.Workload,
+		Seed:       st.tr.Seed,
+		Threads:    len(st.tr.Threads),
+		Benchmarks: st.tr.Benchmarks(),
+		Uops:       st.tr.Uops(),
+		Bytes:      st.size,
+		UploadedAt: st.uploadedAt,
+	}
+}
+
+// Len reports the number of stored traces (for /healthz).
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byDigest)
+}
+
+// ---- handlers ----
+
+// handleUploadTrace accepts a raw binary trace file body, validates it,
+// and stores it content-addressed. 201 on first upload, 200 on a
+// re-upload of identical content.
+func (s *Server) handleUploadTrace(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
+	tr, err := trace.Read(body, s.opts.MaxTracePayload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	size := tr.PayloadBytes()
+	status := http.StatusCreated
+	if _, err := s.traces.Get(tr.Digest); err == nil {
+		status = http.StatusOK
+	}
+	id := s.traces.Add(tr, size)
+	v, _ := s.traceView(id)
+	writeJSON(w, status, v)
+}
+
+func (s *Server) traceView(id string) (TraceView, bool) {
+	for _, v := range s.traces.List() {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return TraceView{}, false
+}
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	views := s.traces.List()
+	sort.Slice(views, func(i, j int) bool { return views[i].UploadedAt.Before(views[j].UploadedAt) })
+	writeJSON(w, http.StatusOK, map[string]any{"traces": views})
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, err := s.traces.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	v, _ := s.traceView(tr.Digest)
+	writeJSON(w, http.StatusOK, v)
+}

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dwarn/internal/trace"
+	"dwarn/internal/workload"
+)
+
+// recordTestTrace builds a small trace of wlName in memory.
+func recordTestTrace(t *testing.T, wlName string, seed uint64, uops int) []byte {
+	t.Helper()
+	wl, err := workload.GetWorkload(wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := wl.Generators(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(wl.Name, seed)
+	for _, src := range srcs {
+		rec := w.Record(src)
+		for i := 0; i < uops; i++ {
+			rec.Next()
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func uploadTrace(t *testing.T, ts *httptest.Server, raw []byte) (TraceView, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var v TraceView
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("bad trace view %q: %v", body, err)
+		}
+	}
+	return v, resp
+}
+
+func TestTraceUploadAndInfo(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	raw := recordTestTrace(t, "2-MIX", 42, 30000)
+
+	v, resp := uploadTrace(t, ts, raw)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first upload status %d", resp.StatusCode)
+	}
+	if v.ID == "" || v.Threads != 2 || v.Workload != "2-MIX" || v.Uops != 60000 {
+		t.Fatalf("trace view %+v", v)
+	}
+
+	// Idempotent re-upload: same id, 200.
+	v2, resp2 := uploadTrace(t, ts, raw)
+	if resp2.StatusCode != http.StatusOK || v2.ID != v.ID {
+		t.Fatalf("re-upload status %d id %s (want 200, %s)", resp2.StatusCode, v2.ID, v.ID)
+	}
+
+	var list struct {
+		Traces []TraceView `json:"traces"`
+	}
+	getJSON(t, ts, "/v1/traces", &list)
+	if len(list.Traces) != 1 || list.Traces[0].ID != v.ID {
+		t.Fatalf("trace list %+v", list)
+	}
+
+	var one TraceView
+	if resp := getJSON(t, ts, "/v1/traces/"+v.ID[:12], &one); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET by prefix status %d", resp.StatusCode)
+	}
+	if one.ID != v.ID {
+		t.Fatalf("prefix lookup got %s", one.ID)
+	}
+}
+
+func TestTraceUploadRejectsCorrupt(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	raw := recordTestTrace(t, "2-ILP", 5, 2000)
+	raw[len(raw)/2] ^= 0x40
+	if _, resp := uploadTrace(t, ts, raw); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt upload status %d, want 400", resp.StatusCode)
+	}
+	if _, resp := uploadTrace(t, ts, []byte("not a trace")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk upload status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTraceSimulationMatchesSynthetic uploads a trace and runs it via
+// the API: the result must match the synthetic run of the same
+// workload/seed exactly, and repeat submissions must hit the cache.
+func TestTraceSimulationMatchesSynthetic(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	raw := recordTestTrace(t, "2-MIX", 42, 60000)
+	v, _ := uploadTrace(t, ts, raw)
+
+	synthetic := submitSim(t, ts, SimulationRequest{
+		Policy: "dwarn", Workload: "2-MIX", Seed: 42,
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	})
+	traced := submitSim(t, ts, SimulationRequest{
+		Policy: "dwarn", Trace: v.ID,
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	})
+	sDone := waitJob(t, ts, synthetic.ID, StateDone)
+	tDone := waitJob(t, ts, traced.ID, StateDone)
+
+	sr, err := decodeSim(sDone.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := decodeSim(tDone.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Fingerprint == tr.Fingerprint {
+		t.Fatal("trace and synthetic runs share a fingerprint")
+	}
+	if tr.Result.Throughput != sr.Result.Throughput {
+		t.Fatalf("trace throughput %v, synthetic %v", tr.Result.Throughput, sr.Result.Throughput)
+	}
+	for i := range sr.Result.Threads {
+		if tr.Result.Threads[i].IPC != sr.Result.Threads[i].IPC {
+			t.Fatalf("t%d IPC %v vs %v", i, tr.Result.Threads[i].IPC, sr.Result.Threads[i].IPC)
+		}
+	}
+
+	// Identical repeat: served from cache.
+	again := submitSim(t, ts, SimulationRequest{
+		Policy: "dwarn", Trace: v.ID,
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	})
+	if done := waitJob(t, ts, again.ID, StateDone); !done.Cached {
+		t.Fatal("repeat trace run not served from cache")
+	}
+}
+
+func TestTraceSweep(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4})
+	raw := recordTestTrace(t, "2-MEM", 7, 60000)
+	v, _ := uploadTrace(t, ts, raw)
+
+	resp, body := postJSON(t, ts, "/v1/sweeps", SweepRequest{
+		Policies:     []string{"icount", "dwarn"},
+		Trace:        v.ID,
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status %d body %s", resp.StatusCode, body)
+	}
+	var st SweepStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 2 {
+		t.Fatalf("sweep total %d, want 2", st.Total)
+	}
+	for _, cell := range st.Cells {
+		if cell.Trace != v.ID {
+			t.Fatalf("cell trace %q", cell.Trace)
+		}
+		done := waitJob(t, ts, cell.JobID, StateDone)
+		sr, err := decodeSim(done.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Result.Threads) != 2 || sr.Result.Throughput <= 0 {
+			t.Fatalf("cell %s/%s implausible result", cell.Machine, cell.Policy)
+		}
+	}
+}
+
+func TestTraceRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	raw := recordTestTrace(t, "2-ILP", 3, 2000)
+	v, _ := uploadTrace(t, ts, raw)
+
+	bad := []SimulationRequest{
+		{Policy: "dwarn", Trace: "deadbeef00"},                       // unknown trace
+		{Policy: "dwarn", Trace: v.ID, Workload: "2-MIX"},            // both set
+		{Policy: "dwarn", Trace: v.ID, Benchmarks: []string{"gzip"}}, // both set
+		{Policy: "dwarn", Trace: v.ID, Baselines: true},              // baselines unsupported
+		{Policy: "nope", Trace: v.ID},                                // bad policy
+	}
+	for i, req := range bad {
+		if resp, body := postJSON(t, ts, "/v1/simulations", req); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %d accepted: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Trace sweep with workloads too must be rejected.
+	if resp, _ := postJSON(t, ts, "/v1/sweeps", SweepRequest{
+		Workloads: []string{"2-MIX"}, Trace: v.ID,
+	}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sweep with both workloads and trace accepted: %d", resp.StatusCode)
+	}
+
+	// A 404 for info on an unknown trace.
+	if resp := getJSON(t, ts, "/v1/traces/0000000000000000", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace info status %d", resp.StatusCode)
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	s := NewTraceStore(2, 1<<30)
+	mk := func(seed uint64) *trace.Trace {
+		raw := recordTestTrace(t, "2-ILP", seed, 500)
+		tr, err := trace.Read(bytes.NewReader(raw), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	s.Add(a, a.PayloadBytes())
+	s.Add(b, b.PayloadBytes())
+	if _, err := s.Get(a.Digest); err != nil {
+		t.Fatal("a evicted too early")
+	}
+	// a is now most-recently used; adding c evicts b.
+	s.Add(c, c.PayloadBytes())
+	if _, err := s.Get(b.Digest); err == nil {
+		t.Fatal("b survived eviction")
+	}
+	if _, err := s.Get(a.Digest); err != nil {
+		t.Fatal("a lost")
+	}
+	if _, err := s.Get(c.Digest); err != nil {
+		t.Fatal("c lost")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dwarn/internal/config"
+	"dwarn/internal/pipeline"
 	"dwarn/internal/workload"
 )
 
@@ -18,11 +19,17 @@ import (
 // byte-identical Results, which is what lets the exp memoiser and the
 // dwarnd result cache share one cache identity.
 //
+// For trace-driven runs (opts.Trace set) the workload component is the
+// trace's content digest and thread count: two runs over byte-identical
+// traces share a key, and any re-recorded or edited trace gets a new
+// one.
+//
 // policyID overrides the policy component of the key; pass it for
-// parameterised PolicyInstance runs whose Name() alone does not encode
-// their parameters (the exp ablations label such runs "stall-t6",
-// "dg-n2", ...). When empty, opts.Policy or PolicyInstance.Name() is
-// used.
+// parameterised PolicyInstance runs labelled by the caller (the exp
+// ablations use "stall-t6", "dg-n2", ...). When empty, opts.Policy or
+// PolicyInstance.Name() is used, with the instance's Params() folded in
+// when it implements pipeline.ParameterizedPolicy — so a threshold
+// sweep never collides with the base policy's cache entries.
 func Fingerprint(opts Options, policyID string) string {
 	cfg := opts.Config
 	if cfg == nil {
@@ -43,6 +50,9 @@ func Fingerprint(opts Options, policyID string) string {
 	if policyID == "" {
 		if opts.PolicyInstance != nil {
 			policyID = "instance:" + opts.PolicyInstance.Name()
+			if pp, ok := opts.PolicyInstance.(pipeline.ParameterizedPolicy); ok {
+				policyID += "|" + pp.Params()
+			}
 		} else {
 			policyID = opts.Policy
 		}
@@ -54,12 +64,20 @@ func Fingerprint(opts Options, policyID string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "machine|%#v\n", *cfg)
 	fmt.Fprintf(h, "policy|%s\n", policyID)
-	fmt.Fprintf(h, "workload|%s|%d|%s\n", opts.Workload.Name, opts.Workload.Threads, opts.Workload.Mix)
-	for _, b := range opts.Workload.Benchmarks {
-		if p, err := workload.Get(b); err == nil {
-			fmt.Fprintf(h, "bench|%#v\n", *p)
-		} else {
-			fmt.Fprintf(h, "bench|unknown:%s\n", b)
+	if opts.Trace != nil {
+		fmt.Fprintf(h, "trace|%s|%d\n", opts.Trace.Digest, len(opts.Trace.Threads))
+		// Replay consumes recorded streams, never the seed — hash a
+		// fixed value so requests differing only in seed share the
+		// cache entry their identical results deserve.
+		seed = 0
+	} else {
+		fmt.Fprintf(h, "workload|%s|%d|%s\n", opts.Workload.Name, opts.Workload.Threads, opts.Workload.Mix)
+		for _, b := range opts.Workload.Benchmarks {
+			if p, err := workload.Get(b); err == nil {
+				fmt.Fprintf(h, "bench|%#v\n", *p)
+			} else {
+				fmt.Fprintf(h, "bench|unknown:%s\n", b)
+			}
 		}
 	}
 	fmt.Fprintf(h, "protocol|seed=%d|warmup=%d|measure=%d\n", seed, warmup, measure)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dwarn/internal/config"
+	"dwarn/internal/core"
 	"dwarn/internal/workload"
 )
 
@@ -58,6 +59,43 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 
 	if Fingerprint(base, "stall-t6") == fp {
 		t.Error("policyID override did not change the fingerprint")
+	}
+}
+
+// TestFingerprintPolicyInstanceParams: a parameterised instance must not
+// collide with the default-parameter instance of the same policy, even
+// though both share a Name() — the bug that made threshold sweeps alias
+// the base policy's cache entries.
+func TestFingerprintPolicyInstanceParams(t *testing.T) {
+	base := testOpts(t)
+	base.Policy = ""
+
+	def := base
+	def.PolicyInstance = core.NewSTALL()
+	tuned := base
+	tuned.PolicyInstance = core.NewSTALLThreshold(25)
+	if Fingerprint(def, "") == Fingerprint(tuned, "") {
+		t.Error("STALL threshold variant collides with default STALL")
+	}
+
+	dgDef := base
+	dgDef.PolicyInstance = core.NewDG()
+	dgTuned := base
+	dgTuned.PolicyInstance = core.NewDGThreshold(2)
+	if Fingerprint(dgDef, "") == Fingerprint(dgTuned, "") {
+		t.Error("DG gate-count variant collides with default DG")
+	}
+
+	// Stability: the same parameters hash identically.
+	tuned2 := base
+	tuned2.PolicyInstance = core.NewSTALLThreshold(25)
+	if Fingerprint(tuned, "") != Fingerprint(tuned2, "") {
+		t.Error("parameterised instance fingerprint unstable")
+	}
+
+	// An explicit policyID label still wins over instance params.
+	if Fingerprint(tuned, "stall-t25") == Fingerprint(tuned, "") {
+		t.Error("explicit policyID should override the instance identity")
 	}
 }
 

@@ -21,12 +21,12 @@ import (
 // Touch order interleaves threads line by line so that when the
 // combined footprints exceed a level's capacity the survivors are an
 // arbitrary inter-thread mix, as they would be in steady state.
-func prewarm(cpu *pipeline.CPU, gens []*workload.Generator) {
+func prewarm(cpu *pipeline.CPU, srcs []workload.Source) {
 	mem := cpu.Mem()
-	fps := make([]workload.Footprint, len(gens))
+	fps := make([]workload.Footprint, len(srcs))
 	maxLines := 0
-	for i, g := range gens {
-		fps[i] = g.Footprint()
+	for i, src := range srcs {
+		fps[i] = src.Footprint()
 		for _, n := range []int{fps[i].CodeBytes, fps[i].HotBytes, fps[i].MidBytes} {
 			if lines := (n + 63) / 64; lines > maxLines {
 				maxLines = lines

@@ -13,6 +13,7 @@ import (
 	"dwarn/internal/core"
 	"dwarn/internal/mem/hierarchy"
 	"dwarn/internal/pipeline"
+	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
 
@@ -29,8 +30,19 @@ type Options struct {
 	// PolicyInstance overrides Policy with a pre-built policy (used for
 	// threshold sweeps).
 	PolicyInstance pipeline.FetchPolicy
-	// Workload is the multiprogrammed workload to run.
+	// Workload is the multiprogrammed workload to run. Ignored when
+	// Trace is set (the trace's own metadata drives thread count and
+	// benchmarks).
 	Workload workload.Workload
+	// Trace, when set, replays a recorded uop trace instead of running
+	// the synthetic generators: thread streams come from the trace and
+	// wrong paths are synthesized from its metadata, bit-identical to
+	// the recorded run.
+	Trace *trace.Trace
+	// Record, when set, wraps every thread source in the trace writer
+	// so the run's correct-path uop streams are recorded as a side
+	// effect. The caller serializes the writer after Run returns.
+	Record *trace.Writer
 	// Seed drives all synthetic randomness; 0 means DefaultSeed.
 	Seed uint64
 	// WarmupCycles and MeasureCycles control the protocol; zero values
@@ -157,16 +169,34 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		}
 	}
 
-	gens, err := opts.Workload.Generators(seed)
-	if err != nil {
-		return nil, err
+	var srcs []workload.Source
+	var benchmarks []string
+	wlName := opts.Workload.Name
+	if opts.Trace != nil {
+		srcs = opts.Trace.Sources()
+		benchmarks = opts.Trace.Benchmarks()
+		if wlName == "" {
+			wlName = "trace:" + opts.Trace.Workload
+		}
+	} else {
+		var err error
+		srcs, err = opts.Workload.Generators(seed)
+		if err != nil {
+			return nil, err
+		}
+		benchmarks = opts.Workload.Benchmarks
 	}
-	cpu, err := pipeline.New(cfg, pol, gens)
+	if opts.Record != nil {
+		for i := range srcs {
+			srcs[i] = opts.Record.Record(srcs[i])
+		}
+	}
+	cpu, err := pipeline.New(cfg, pol, srcs)
 	if err != nil {
 		return nil, err
 	}
 
-	prewarm(cpu, gens)
+	prewarm(cpu, srcs)
 	if err := runCycles(ctx, cpu, warmup); err != nil {
 		return nil, err
 	}
@@ -176,7 +206,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	}
 
 	res := &Result{
-		Workload: opts.Workload.Name,
+		Workload: wlName,
 		Policy:   pol.Name(),
 		Machine:  cfg.Name,
 		Cycles:   cpu.Stats.Cycles,
@@ -185,7 +215,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	for i := range res.Threads {
 		ps := cpu.ThreadStats(i)
 		res.Threads[i] = ThreadResult{
-			Benchmark: opts.Workload.Benchmarks[i],
+			Benchmark: benchmarks[i],
 			IPC:       ps.IPC(res.Cycles),
 			Pipeline:  ps,
 			Mem:       cpu.Mem().Threads[i],

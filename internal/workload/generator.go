@@ -45,12 +45,12 @@ type Generator struct {
 	loadAdj      regionAdjust
 	storeAdj     regionAdjust
 
-	// Wrong-path stream state (separate RNG; never advances the walker).
-	wpR         *rng.Source
-	wpPC        uint64
-	wpSeq       uint64
-	wpIntWrites uint64
-	wpFPWrites  uint64
+	// meta is the recordable identity of this stream; wp synthesizes
+	// wrong-path episodes from it (separate RNG; never advances the
+	// walker). A trace replayer reconstructs the identical synthesizer
+	// from the recorded meta alone.
+	meta ReplayMeta
+	wp   WrongPathSynth
 }
 
 // NewGenerator builds the synthetic benchmark prof at the given address
@@ -68,7 +68,6 @@ func NewGenerator(prof *Profile, seed, base uint64) *Generator {
 		prog: prog,
 		r:    walkR,
 		base: base,
-		wpR:  rng.New(seed), // reseeded per wrong-path episode
 	}
 	g.farW = prof.L2MissRate / homeFidelity
 	g.midW = (prof.L1MissRate - prof.L2MissRate) / homeFidelity
@@ -81,8 +80,28 @@ func NewGenerator(prof *Profile, seed, base uint64) *Generator {
 	g.sMidW = g.midW * prof.StoreMissScale
 	g.loadAdj, g.storeAdj = prog.assignHomes(prof, progR, g.farW, g.midW, g.sFarW, g.sMidW)
 	g.walk = newWalker(prog)
+
+	starts := make([]int32, len(prog.blocks))
+	for i, b := range prog.blocks {
+		starts[i] = int32(b.first)
+	}
+	g.meta = ReplayMeta{
+		Benchmark: prof.Name,
+		Base:      base,
+		LoadFrac:  prof.LoadFrac, StoreFrac: prof.StoreFrac,
+		BranchFrac: prof.BranchFrac, IntMulFrac: prof.IntMulFrac, FPFrac: prof.FPFrac,
+		FarW: g.farW, MidW: g.midW,
+		BlockStarts: starts,
+		Footprint:   g.Footprint(),
+	}
+	g.meta.StartPC = g.StartPC()
+	g.wp = NewWrongPathSynth(&g.meta)
 	return g
 }
+
+// ReplayMeta implements Source: the metadata a trace must record so a
+// replayer reproduces this stream (including wrong paths) byte-exactly.
+func (g *Generator) ReplayMeta() ReplayMeta { return g.meta }
 
 // Profile returns the benchmark profile driving this generator.
 func (g *Generator) Profile() *Profile { return g.prof }
@@ -166,16 +185,16 @@ func (g *Generator) fillOperands(u *isa.Uop) {
 		if g.r.Bool(g.prof.TwoSrcFrac) {
 			u.Src2 = g.intSrc(g.r, g.intWrites)
 		}
-		u.Dest = g.intDest(&g.intWrites)
+		u.Dest = roundRobinDest(&g.intWrites)
 	case isa.FPALU, isa.FPMul:
 		u.Src1 = g.fpSrc(g.r, g.fpWrites)
 		if g.r.Bool(g.prof.TwoSrcFrac) {
 			u.Src2 = g.fpSrc(g.r, g.fpWrites)
 		}
-		u.Dest = g.fpDest(&g.fpWrites)
+		u.Dest = roundRobinDest(&g.fpWrites)
 	case isa.Load:
 		u.Src1 = g.intSrc(g.r, g.intWrites)
-		u.Dest = g.intDest(&g.intWrites)
+		u.Dest = roundRobinDest(&g.intWrites)
 	case isa.Store:
 		u.Src1 = g.intSrc(g.r, g.intWrites) // data
 		u.Src2 = g.intSrc(g.r, g.intWrites) // base
@@ -184,20 +203,6 @@ func (g *Generator) fillOperands(u *isa.Uop) {
 	case isa.Ret, isa.Jump, isa.Call:
 		// No register operands in the synthetic model.
 	}
-}
-
-// intDest allocates the next round-robin integer destination (r1..r30;
-// r0 is the zero register and r31 is reserved).
-func (g *Generator) intDest(writes *uint64) isa.Reg {
-	r := isa.Reg(1 + *writes%30)
-	*writes++
-	return r
-}
-
-func (g *Generator) fpDest(writes *uint64) isa.Reg {
-	r := isa.Reg(1 + *writes%30)
-	*writes++
-	return r
 }
 
 // intSrc picks a source register d writes back, d geometric with mean
@@ -267,177 +272,33 @@ func (g *Generator) dataAddr(class isa.Class, home uint8) uint64 {
 		g.midCursor = (g.midCursor + lineBytes) % uint64(g.prof.MidBytes)
 		return addr
 	default:
-		return g.base + hotOffset + g.hotOffsetSample(g.r)
+		return g.base + hotOffset + hotOffsetSample(g.r, g.prof.HotBytes)
 	}
-}
-
-// hotOffsetSample draws a skewed offset within the hot region: mostly
-// the first few lines (stack tops and hot structures), occasionally
-// anywhere. Uniform access over the whole region would make the hot
-// set exactly as large as its footprint — the worst case for shared-
-// cache LRU and nothing like real programs' locality.
-func (g *Generator) hotOffsetSample(r *rng.Source) uint64 {
-	hotLines := g.prof.HotBytes / lineBytes
-	var line int
-	if r.Bool(0.97) {
-		line = r.Geometric(1.0 / 3)
-		if line >= hotLines {
-			line = hotLines - 1
-		}
-	} else {
-		line = r.Intn(hotLines)
-	}
-	return uint64(line)*lineBytes + uint64(r.Intn(lineBytes/8))*8
 }
 
 // StartWrongPath (re)seeds the wrong-path stream for a new misprediction
-// episode. salt should identify the episode (e.g. the branch's sequence
-// number) so replays are deterministic; startPC is where the front end
-// wrongly redirected to.
+// episode, snapshotting the correct path's writer counters and region
+// cursors (static while the episode is active). salt should identify
+// the episode (e.g. the branch's sequence number) so replays are
+// deterministic; startPC is where the front end wrongly redirected to.
 func (g *Generator) StartWrongPath(salt, startPC uint64) {
-	g.wpR = rng.New(salt*0x9e3779b97f4a7c15 ^ g.base)
-	g.wpPC = startPC
-	g.wpSeq = 0
-	g.wpIntWrites = g.intWrites
-	g.wpFPWrites = g.fpWrites
+	g.wp.Start(salt, startPC, WrongPathState{
+		IntWrites: g.intWrites,
+		FPWrites:  g.fpWrites,
+		FarCursor: g.farCursor,
+		MidCursor: g.midCursor,
+	})
 }
 
 // WrongPathPC returns the PC the front end runs off to after
-// mispredicting branch u: the fall-through when the prediction was
-// not-taken, otherwise a deterministic pseudo-target standing in for a
-// stale BTB entry. Stale targets point at recently executed code, so
-// the pseudo-target stays near the branch — a uniformly random target
-// would turn every misprediction into a cold I-cache excursion.
+// mispredicting branch u; see WrongPathSynth.PCAfterMispredict.
 func (g *Generator) WrongPathPC(u *isa.Uop, predictedTaken bool) uint64 {
-	if !predictedTaken {
-		return u.PC + 4
-	}
-	h := u.PC * 0x9e3779b97f4a7c15 >> 33
-	return g.blockPC(g.nearbyBlock(u.PC, h))
+	return g.wp.PCAfterMispredict(u, predictedTaken)
 }
 
-// nearbyBlock maps a PC to its block and offsets it by hash within a
-// small window, clamped to the program.
-func (g *Generator) nearbyBlock(pc, hash uint64) int32 {
-	slot := int((pc - g.base - codeOffset) / 4)
-	blocks := g.prog.blocks
-	// Binary search for the block containing slot.
-	lo, hi := 0, len(blocks)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if blocks[mid].first <= slot {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	b := lo + int(hash%17) - 8
-	if b < 0 {
-		b = 0
-	}
-	if b >= len(blocks) {
-		b = len(blocks) - 1
-	}
-	return int32(b)
-}
-
-// NextWrongPath produces the next wrong-path uop. Wrong-path uops fetch,
-// rename, and execute (polluting caches and predictor history) but are
-// squashed when the mispredicted branch resolves. Wrong-path branches
-// carry plausible outcomes so fetch follows them, but the pipeline never
-// treats them as mispredicted.
+// NextWrongPath produces the next wrong-path uop; see WrongPathSynth.
 func (g *Generator) NextWrongPath() isa.Uop {
-	u := isa.Uop{
-		Seq:       g.wpSeq,
-		PC:        g.wpPC,
-		WrongPath: true,
-		Dest:      isa.NoReg,
-		Src1:      isa.NoReg,
-		Src2:      isa.NoReg,
-	}
-	g.wpSeq++
-
-	x := g.wpR.Float64()
-	p := g.prof
-	switch {
-	case x < p.LoadFrac:
-		u.Class = isa.Load
-	case x < p.LoadFrac+p.StoreFrac:
-		u.Class = isa.Store
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac:
-		u.Class = isa.CondBranch
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.IntMulFrac:
-		u.Class = isa.IntMul
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.IntMulFrac+p.FPFrac:
-		u.Class = isa.FPALU
-	default:
-		u.Class = isa.IntALU
-	}
-
-	switch u.Class {
-	case isa.Load:
-		u.Src1 = g.wpIntSrc()
-		u.Dest = g.intDest(&g.wpIntWrites)
-		u.Mem.Addr = g.wpDataAddr()
-	case isa.Store:
-		u.Src1 = g.wpIntSrc()
-		u.Src2 = g.wpIntSrc()
-		u.Mem.Addr = g.wpDataAddr()
-	case isa.CondBranch:
-		u.Src1 = g.wpIntSrc()
-		u.Branch.Taken = g.wpR.Bool(0.6)
-		h := u.PC*0x2545f4914f6cdd1d + g.wpSeq
-		u.Branch.Target = g.blockPC(g.nearbyBlock(u.PC, h>>13))
-	case isa.FPALU:
-		u.Src1 = isa.Reg(1 + g.wpR.Intn(30))
-		u.Dest = g.fpDest(&g.wpFPWrites)
-	default:
-		u.Src1 = g.wpIntSrc()
-		u.Dest = g.intDest(&g.wpIntWrites)
-	}
-
-	if u.Class == isa.CondBranch && u.Branch.Taken {
-		g.wpPC = u.Branch.Target
-	} else {
-		g.wpPC += 4
-	}
-	return u
-}
-
-func (g *Generator) wpIntSrc() isa.Reg {
-	return isa.Reg(1 + g.wpR.Intn(30))
-}
-
-// wpDataAddr draws wrong-path data addresses from the same region
-// mixture as the correct path, so wrong-path loads pollute the caches
-// and bump the policies' miss counters realistically. Wrong-path loads
-// mostly touch data near the correct path's cursors — wrong paths run
-// the same code over the same structures — with a small fraction
-// streaming ahead (true pollution).
-func (g *Generator) wpDataAddr() uint64 {
-	x := g.wpR.Float64()
-	switch {
-	case x < g.farW:
-		var off uint64
-		if g.wpR.Bool(0.8) {
-			// Recently streamed lines: likely still cached.
-			back := uint64(1+g.wpR.Intn(256)) * lineBytes
-			off = (g.farCursor + farRegion - back) % farRegion
-		} else {
-			// A genuine extra miss, displaced far from the stream so
-			// wrong-path execution never prefetches the correct path's
-			// upcoming lines.
-			off = (g.farCursor + 8<<20 + uint64(g.wpR.Intn(4096))*lineBytes) % farRegion
-		}
-		return g.base + farOffset + off
-	case x < g.farW+g.midW:
-		back := uint64(g.wpR.Intn(256)) * lineBytes
-		mid := uint64(g.prof.MidBytes)
-		off := (g.midCursor + mid - back%mid) % mid
-		return g.base + midOffset + off
-	default:
-		return g.base + hotOffset + g.hotOffsetSample(g.wpR)
-	}
+	return g.wp.Next()
 }
 
 // Footprint describes the generator's memory regions, so a simulator

@@ -150,15 +150,20 @@ func (w *Workload) Validate() error {
 	return nil
 }
 
-// Generators instantiates one generator per thread. Replicated
-// benchmark instances get different seeds (standing in for the paper's
+// Generators instantiates one uop source per thread — live synthetic
+// generators walking each benchmark's CFG. Replicated benchmark
+// instances get different seeds (standing in for the paper's
 // one-million-instruction shift) and every thread gets a disjoint
 // address-space base.
-func (w *Workload) Generators(seed uint64) ([]*Generator, error) {
+//
+// It returns the Source seam rather than concrete *Generator values so
+// the pipeline and simulator stay agnostic about where uops come from
+// (a trace Replayer is a drop-in substitute).
+func (w *Workload) Generators(seed uint64) ([]Source, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	gens := make([]*Generator, len(w.Benchmarks))
+	srcs := make([]Source, len(w.Benchmarks))
 	for i, name := range w.Benchmarks {
 		prof, err := Get(name)
 		if err != nil {
@@ -169,7 +174,7 @@ func (w *Workload) Generators(seed uint64) ([]*Generator, error) {
 		// set-aligned and collide pathologically in the shared caches.
 		stagger := (seed + uint64(i)*0x9e3779b97f4a7c15) >> 13 & 0x3FFFC0
 		base := uint64(i+1)<<40 + stagger
-		gens[i] = NewGenerator(prof, seed+uint64(i)*0x51ed2701, base)
+		srcs[i] = NewGenerator(prof, seed+uint64(i)*0x51ed2701, base)
 	}
-	return gens, nil
+	return srcs, nil
 }
