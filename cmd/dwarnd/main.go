@@ -7,11 +7,14 @@
 // Examples:
 //
 //	dwarnd -addr :8080
+//	dwarnd -spec examples/specs/table4-sweep.json   # pre-warm the cache
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/simulations \
 //	    -d '{"policy":"dwarn","workload":"4-MIX"}'
 //	curl -s localhost:8080/v1/simulations/sim-000001
 //	curl -s -X POST localhost:8080/v1/sweeps -d '{"workloads":["4-MIX"]}'
+//	curl -s -X POST localhost:8080/v2/sweeps \
+//	    -d '{"policies":[{"name":"dwarn","params":{"warn":[1,2,4]}}],"workloads":[{"name":"2-MEM"}]}'
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"dwarn/internal/service"
+	"dwarn/internal/spec"
 )
 
 func main() {
@@ -37,16 +41,36 @@ func main() {
 		queueDepth   = flag.Int("queue", 256, "job queue depth")
 		cacheEntries = flag.Int("cache", 4096, "result cache entries")
 		maxCycles    = flag.Int64("max-cycles", 5_000_000, "per-request cycle cap (warmup and measure each; <0 = uncapped)")
+		maxCells     = flag.Int("max-sweep-cells", 1024, "largest sweep expansion one request may fan out")
+		specPath     = flag.String("spec", "", "submit this JSON spec file (run or sweep) at startup to pre-warm the cache")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 	)
 	flag.Parse()
 
 	srv := service.New(service.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		MaxCycles:    *maxCycles,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheEntries,
+		MaxCycles:     *maxCycles,
+		MaxSweepCells: *maxCells,
 	})
+
+	if *specPath != "" {
+		f, err := spec.LoadFile(*specPath)
+		if err != nil {
+			log.Fatalf("dwarnd: -spec: %v", err)
+		}
+		views, err := srv.Preload(f)
+		switch {
+		case errors.Is(err, service.ErrQueueFull):
+			// A grid larger than the free queue is a partial warm-up,
+			// not a reason to refuse to serve.
+			log.Printf("dwarnd: -spec %s: %v; continuing with a partial preload", *specPath, err)
+		case err != nil:
+			log.Fatalf("dwarnd: -spec %s: %v", *specPath, err)
+		}
+		log.Printf("dwarnd: preloaded %d runs from %s", len(views), *specPath)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,6 +1,8 @@
 // Command experiments regenerates the paper's tables and figures from
 // the simulator, printing each as an aligned text table or, with
-// -json, as machine-readable JSON (the exp.Table shape).
+// -json, as machine-readable JSON (the exp.Table shape). With -spec it
+// instead runs an arbitrary spec grid (a JSON run or sweep file, see
+// examples/specs/) and renders one generic results table.
 //
 // Examples:
 //
@@ -8,6 +10,7 @@
 //	experiments -exp fig1a          # one artifact
 //	experiments -exp fig3 -measure 300000 -warmup 120000
 //	experiments -exp table4 -json   # machine-readable output
+//	experiments -spec examples/specs/dwarn-warn-grid.json
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
@@ -22,16 +25,18 @@ import (
 
 	"dwarn/internal/exp"
 	"dwarn/internal/out"
+	"dwarn/internal/spec"
 )
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(exp.Experiments, ", "))
-		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
-		warmup  = flag.Int64("warmup", 0, "warmup cycles per run (0 = default)")
-		measure = flag.Int64("measure", 0, "measured cycles per run (0 = default)")
-		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		asJSON  = flag.Bool("json", false, "emit JSON instead of aligned text tables")
+		expID    = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(exp.Experiments, ", "))
+		specPath = flag.String("spec", "", "run a JSON spec file (one run or a sweep grid) instead of a named experiment")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = default)")
+		warmup   = flag.Int64("warmup", 0, "warmup cycles per run (0 = default)")
+		measure  = flag.Int64("measure", 0, "measured cycles per run (0 = default)")
+		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text tables")
 	)
 	flag.Parse()
 
@@ -42,6 +47,29 @@ func main() {
 		Parallelism:   *par,
 	})
 
+	if *specPath != "" {
+		f, err := spec.LoadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		cells, err := f.Runs(0)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := r.RunSpecs(cells)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := out.WriteJSON(os.Stdout, []*exp.Table{t}); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Println(t.Render())
+		return
+	}
+
 	ids := exp.Experiments
 	if *expID != "all" {
 		ids = strings.Split(*expID, ",")
@@ -51,8 +79,7 @@ func main() {
 		start := time.Now()
 		tables, err := r.Run(strings.TrimSpace(id))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if *asJSON {
 			all = append(all, tables...)
@@ -65,8 +92,12 @@ func main() {
 	}
 	if *asJSON {
 		if err := out.WriteJSON(os.Stdout, all); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

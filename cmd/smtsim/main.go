@@ -1,5 +1,8 @@
-// Command smtsim runs one SMT simulation — machine × fetch policy ×
-// workload — and prints per-thread and aggregate statistics.
+// Command smtsim runs SMT simulations — machine × fetch policy ×
+// workload — and prints per-thread and aggregate statistics. Runs are
+// selected by flags, or declaratively with -spec: a JSON spec file
+// holding one run or a whole sweep grid (see examples/specs/), each
+// cell reported with its content-addressed fingerprint.
 //
 // Examples:
 //
@@ -8,6 +11,7 @@
 //	smtsim -solo mcf
 //	smtsim -policy dwarn -workload 4-MIX -json
 //	smtsim -policy icount -workload 2-MEM -trace run.dwt   # record a uop trace
+//	smtsim -spec examples/specs/dwarn-warn-grid.json       # run a sweep spec
 //
 // A trace recorded with -trace replays through `smttrace replay` under
 // any policy, reproducing this run bit for bit.
@@ -23,6 +27,8 @@ import (
 	"dwarn/internal/core"
 	"dwarn/internal/out"
 	"dwarn/internal/sim"
+	"dwarn/internal/spec"
+	"dwarn/internal/stats"
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
@@ -38,9 +44,16 @@ func main() {
 		measure   = flag.Int64("measure", 150000, "measured cycles")
 		asJSON    = flag.Bool("json", false, "emit the full result record as JSON")
 		tracePath = flag.String("trace", "", "record the run's uop streams to this trace file")
+		specPath  = flag.String("spec", "", "run a JSON spec file (one run or a sweep grid) instead of the flag selection")
+		maxCells  = flag.Int("max-cells", spec.DefaultMaxCells, "largest sweep expansion a -spec file may request")
 		listWork  = flag.Bool("list", false, "list workloads and benchmarks, then exit")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		runSpecFile(*specPath, *maxCells, *asJSON)
+		return
+	}
 
 	if *listWork {
 		fmt.Println("workloads:")
@@ -107,6 +120,105 @@ func main() {
 		return
 	}
 	out.PrintResult(os.Stdout, res)
+}
+
+// specCell is the JSON record emitted per spec cell: the canonical
+// identity plus the full result (and relative-IPC metrics when the
+// spec asks for baselines).
+type specCell struct {
+	Fingerprint string         `json:"fingerprint"`
+	Spec        spec.RunSpec   `json:"spec"`
+	Result      *sim.Result    `json:"result"`
+	Summary     *stats.Summary `json:"summary,omitempty"`
+}
+
+// runSpecFile executes every cell of a spec file in expansion order.
+// Trace references in the file resolve as filesystem paths.
+func runSpecFile(path string, maxCells int, asJSON bool) {
+	f, err := spec.LoadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	runs, err := f.Runs(maxCells)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cells []specCell
+	soloIPC := map[string]float64{} // solo fingerprint → IPC, shared across cells
+	for _, rs := range runs {
+		resolved, err := rs.Resolve(spec.FileTraces{})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(resolved.Options)
+		if err != nil {
+			fatal(err)
+		}
+		var summary *stats.Summary
+		if resolved.Spec.Baselines {
+			if summary, err = specBaselines(resolved, res, soloIPC); err != nil {
+				fatal(err)
+			}
+		}
+		if asJSON {
+			cells = append(cells, specCell{Fingerprint: resolved.Fingerprint, Spec: resolved.Spec, Result: res, Summary: summary})
+			continue
+		}
+		fmt.Printf("%s/%s/%s seed=%d fingerprint=%s\n",
+			resolved.Spec.Machine.Name, resolved.Spec.Policy.ID(), resolved.Spec.Workload.ID(),
+			resolved.Spec.Seed, resolved.Fingerprint[:12])
+		out.PrintResult(os.Stdout, res)
+		if summary != nil {
+			fmt.Printf("baselines: Hmean %.3f  weighted speedup %.3f\n", summary.Hmean, summary.WeightedSpeedup)
+		}
+		fmt.Println()
+	}
+	if asJSON {
+		if err := out.WriteJSON(os.Stdout, cells); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// specBaselines runs each distinct benchmark of a finished cell solo
+// under ICOUNT (same machine, seed, and protocol — the same identity
+// the service's baselines path uses) and computes the relative-IPC
+// summary. soloIPC memoises solos by fingerprint across cells.
+func specBaselines(resolved *spec.Resolved, res *sim.Result, soloIPC map[string]float64) (*stats.Summary, error) {
+	byBench := map[string]float64{}
+	for _, b := range resolved.Options.Workload.Benchmarks {
+		if _, ok := byBench[b]; ok {
+			continue
+		}
+		soloSpec := spec.RunSpec{
+			Machine:       resolved.Spec.Machine,
+			Policy:        spec.Policy{Name: "icount"},
+			Workload:      spec.Workload{Solo: b},
+			Seed:          resolved.Spec.Seed,
+			WarmupCycles:  resolved.Spec.WarmupCycles,
+			MeasureCycles: resolved.Spec.MeasureCycles,
+		}
+		sr, err := soloSpec.Resolve(nil)
+		if err != nil {
+			return nil, err
+		}
+		ipc, ok := soloIPC[sr.Fingerprint]
+		if !ok {
+			solo, err := sim.Run(sr.Options)
+			if err != nil {
+				return nil, err
+			}
+			ipc = solo.Threads[0].IPC
+			soloIPC[sr.Fingerprint] = ipc
+		}
+		byBench[b] = ipc
+	}
+	solo := make([]float64, len(res.Threads))
+	for i, t := range res.Threads {
+		solo[i] = byBench[t.Benchmark]
+	}
+	return stats.Summarize(res.IPCs(), solo)
 }
 
 func fatal(err error) {

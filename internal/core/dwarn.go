@@ -27,6 +27,12 @@ type DWarn struct {
 	// hybrid enables the <3-thread L2-miss gate; disabled for the
 	// DWarn-Prio ablation variant.
 	hybrid bool
+	// warn is the in-flight L1 data-miss count at which a thread is
+	// classified into the Dmiss group. The paper warns on the first miss
+	// (warn = 1); higher values tolerate short miss bursts before
+	// demoting the thread, the §5-style sensitivity axis the registry's
+	// "warn" parameter sweeps.
+	warn int
 	// gating counts declared-and-unreturned L2-missing loads per thread
 	// (only maintained when the hybrid gate is active).
 	gating []int
@@ -34,18 +40,33 @@ type DWarn struct {
 	name string
 }
 
-// NewDWarn returns the full hybrid DWarn policy.
-func NewDWarn() *DWarn { return &DWarn{hybrid: true, name: "DWarn"} }
+// DefaultWarnThreshold is the paper's Dmiss classification point: one
+// in-flight L1 data miss demotes the thread.
+const DefaultWarnThreshold = 1
+
+// NewDWarn returns the full hybrid DWarn policy with the paper's warn
+// threshold.
+func NewDWarn() *DWarn { return NewDWarnWarn(DefaultWarnThreshold) }
+
+// NewDWarnWarn returns the full hybrid DWarn policy with a custom warn
+// threshold (used by the threshold sweeps).
+func NewDWarnWarn(warn int) *DWarn { return &DWarn{hybrid: true, warn: warn, name: "DWarn"} }
 
 // NewDWarnPrio returns the prioritisation-only variant (no gate with
 // few threads) — the ablation the paper's §3 discussion motivates.
-func NewDWarnPrio() *DWarn { return &DWarn{hybrid: false, name: "DWarn-Prio"} }
+func NewDWarnPrio() *DWarn { return NewDWarnPrioWarn(DefaultWarnThreshold) }
+
+// NewDWarnPrioWarn returns the prioritisation-only variant with a
+// custom warn threshold.
+func NewDWarnPrioWarn(warn int) *DWarn {
+	return &DWarn{hybrid: false, warn: warn, name: "DWarn-Prio"}
+}
 
 // Name implements pipeline.FetchPolicy.
 func (p *DWarn) Name() string { return p.name }
 
 // Params implements pipeline.ParameterizedPolicy.
-func (p *DWarn) Params() string { return fmt.Sprintf("hybrid=%v", p.hybrid) }
+func (p *DWarn) Params() string { return fmt.Sprintf("hybrid=%v|warn=%d", p.hybrid, p.warn) }
 
 // Attach implements pipeline.FetchPolicy.
 func (p *DWarn) Attach(cpu *pipeline.CPU) {
@@ -102,7 +123,7 @@ func (p *DWarn) Priority(now int64, dst []int) []int {
 		switch {
 		case p.gateActive() && p.gating[t] > 0:
 			gated = append(gated, t)
-		case p.cpu.L1DMissInFlight(t) > 0:
+		case p.cpu.L1DMissInFlight(t) >= p.warn:
 			dmiss = append(dmiss, t)
 		default:
 			normal = append(normal, t)

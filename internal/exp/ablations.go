@@ -4,9 +4,37 @@ import (
 	"fmt"
 
 	"dwarn/internal/core"
-	"dwarn/internal/pipeline"
-	"dwarn/internal/workload"
+	"dwarn/internal/spec"
 )
+
+// The ablation studies are parameter sweeps, and they are expressed the
+// way every other frontend expresses them: as spec grids over the
+// policy registry's declared parameters. A cell whose parameters are
+// all defaults shares its fingerprint — and therefore its memo entry —
+// with the paper-grid runs of the base policy.
+
+// ablationID is the row/column key of a parameterised cell, identical
+// to the canonical id the spec fingerprint uses.
+func ablationID(policy, param string, v int64) string {
+	return core.PolicyID(policy, map[string]int64{param: v})
+}
+
+// paramSweep runs one policy × one parameter's value list over the
+// workloads on the baseline machine.
+func (r *Runner) paramSweep(policies []spec.PolicyAxis, wls []string) error {
+	var axis []spec.Workload
+	for _, wn := range wls {
+		axis = append(axis, spec.Workload{Name: wn})
+	}
+	specs, err := r.grid(spec.SweepSpec{
+		Policies:  policies,
+		Workloads: axis,
+	})
+	if err != nil {
+		return err
+	}
+	return r.runAll(specs)
+}
 
 // AblateL2Threshold sweeps the cycle threshold at which STALL and FLUSH
 // declare a load an L2 miss. The paper tuned this parameter and found
@@ -14,23 +42,11 @@ import (
 func (r *Runner) AblateL2Threshold() (*Table, error) {
 	thresholds := []int64{5, 10, 15, 25, 40}
 	wls := []string{"2-MEM", "4-MIX", "4-MEM"}
-	var jobs []job
-	for _, wn := range wls {
-		wl, err := workload.GetWorkload(wn)
-		if err != nil {
-			return nil, err
-		}
-		for _, th := range thresholds {
-			th := th
-			jobs = append(jobs,
-				job{machine: "baseline", label: fmt.Sprintf("stall-t%d", th), workload: wl,
-					instance: func() pipeline.FetchPolicy { return core.NewSTALLThreshold(th) }},
-				job{machine: "baseline", label: fmt.Sprintf("flush-t%d", th), workload: wl,
-					instance: func() pipeline.FetchPolicy { return core.NewFLUSHThreshold(th) }},
-			)
-		}
-	}
-	if err := r.runAll(jobs); err != nil {
+	err := r.paramSweep([]spec.PolicyAxis{
+		{Name: "stall", Params: map[string][]int64{"threshold": thresholds}},
+		{Name: "flush", Params: map[string][]int64{"threshold": thresholds}},
+	}, wls)
+	if err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -45,7 +61,7 @@ func (r *Runner) AblateL2Threshold() (*Table, error) {
 		for _, pol := range []string{"stall", "flush"} {
 			row := []string{wn, pol}
 			for _, th := range thresholds {
-				res := r.get("baseline", fmt.Sprintf("%s-t%d", pol, th), wn)
+				res := r.get("baseline", ablationID(pol, "threshold", th), wn)
 				row = append(row, cell(res.Throughput))
 			}
 			t.Rows = append(t.Rows, row)
@@ -57,21 +73,12 @@ func (r *Runner) AblateL2Threshold() (*Table, error) {
 // AblateDGThreshold sweeps DG's outstanding-miss gate threshold n; the
 // paper (following El-Moursy & Albonesi) uses n = 0.
 func (r *Runner) AblateDGThreshold() (*Table, error) {
-	ns := []int{0, 1, 2, 4}
+	ns := []int64{0, 1, 2, 4}
 	wls := []string{"2-MEM", "4-MEM", "8-MEM"}
-	var jobs []job
-	for _, wn := range wls {
-		wl, err := workload.GetWorkload(wn)
-		if err != nil {
-			return nil, err
-		}
-		for _, n := range ns {
-			n := n
-			jobs = append(jobs, job{machine: "baseline", label: fmt.Sprintf("dg-n%d", n), workload: wl,
-				instance: func() pipeline.FetchPolicy { return core.NewDGThreshold(n) }})
-		}
-	}
-	if err := r.runAll(jobs); err != nil {
+	err := r.paramSweep([]spec.PolicyAxis{
+		{Name: "dg", Params: map[string][]int64{"n": ns}},
+	}, wls)
+	if err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -85,10 +92,43 @@ func (r *Runner) AblateDGThreshold() (*Table, error) {
 	for _, wn := range wls {
 		row := []string{wn}
 		for _, n := range ns {
-			row = append(row, cell(r.get("baseline", fmt.Sprintf("dg-n%d", n), wn).Throughput))
+			row = append(row, cell(r.get("baseline", ablationID("dg", "n", n), wn).Throughput))
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	return t, nil
+}
+
+// AblateDWarnWarn sweeps DWarn's warn threshold: the in-flight L1
+// data-miss count at which a thread drops to the Dmiss group. The paper
+// demotes on the first miss (warn = 1); higher values tolerate short
+// miss bursts and show how much of DWarn's gain comes from reacting to
+// the earliest warning signal.
+func (r *Runner) AblateDWarnWarn() (*Table, error) {
+	warns := []int64{1, 2, 4}
+	wls := []string{"2-MEM", "4-MIX", "4-MEM"}
+	err := r.paramSweep([]spec.PolicyAxis{
+		{Name: "dwarn", Params: map[string][]int64{"warn": warns}},
+	}, wls)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablate-dwarn-warn",
+		Title:  "DWarn throughput vs warn threshold (paper demotes on the first in-flight miss)",
+		Header: []string{"workload"},
+	}
+	for _, wn := range warns {
+		t.Header = append(t.Header, fmt.Sprintf("warn=%d", wn))
+	}
+	for _, wn := range wls {
+		row := []string{wn}
+		for _, v := range warns {
+			row = append(row, cell(r.get("baseline", ablationID("dwarn", "warn", v), wn).Throughput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "warn=1 is the paper's DWarn; higher thresholds delay the priority response")
 	return t, nil
 }
 
@@ -98,18 +138,11 @@ func (r *Runner) AblateDGThreshold() (*Table, error) {
 // fetch engine's spare slots.
 func (r *Runner) AblateDWarnHybrid() (*Table, error) {
 	wls := []string{"2-ILP", "2-MIX", "2-MEM", "4-MIX", "4-MEM"}
-	var jobs []job
-	for _, wn := range wls {
-		wl, err := workload.GetWorkload(wn)
-		if err != nil {
-			return nil, err
-		}
-		jobs = append(jobs,
-			job{machine: "baseline", policy: "dwarn", workload: wl},
-			job{machine: "baseline", policy: "dwarn-prio", workload: wl},
-		)
-	}
-	if err := r.runAll(jobs); err != nil {
+	err := r.paramSweep([]spec.PolicyAxis{
+		{Name: "dwarn"},
+		{Name: "dwarn-prio"},
+	}, wls)
+	if err != nil {
 		return nil, err
 	}
 	t := &Table{

@@ -6,7 +6,7 @@ import "fmt"
 var Experiments = []string{
 	"table2a", "fig1a", "fig1b", "fig2", "fig3", "table4",
 	"fig4", "fig5",
-	"ablate-threshold", "ablate-dg", "ablate-hybrid",
+	"ablate-threshold", "ablate-dg", "ablate-dwarn-warn", "ablate-hybrid",
 }
 
 // Run executes one experiment by identifier, returning its tables.
@@ -39,6 +39,9 @@ func (r *Runner) Run(id string) ([]*Table, error) {
 		return wrap(t, err)
 	case "ablate-dg":
 		t, err := r.AblateDGThreshold()
+		return wrap(t, err)
+	case "ablate-dwarn-warn":
+		t, err := r.AblateDWarnWarn()
 		return wrap(t, err)
 	case "ablate-hybrid":
 		t, err := r.AblateDWarnHybrid()

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"dwarn/internal/config"
-	"dwarn/internal/workload"
+	"dwarn/internal/spec"
 )
 
 // fastRunner uses very short simulations: these tests exercise the
@@ -37,17 +37,80 @@ func TestMachineFor(t *testing.T) {
 
 func TestRunnerMemoises(t *testing.T) {
 	r := fastRunner()
-	wl, _ := workload.GetWorkload("2-MIX")
-	j := job{machine: "baseline", policy: "icount", workload: wl}
-	if err := r.runAll([]job{j}); err != nil {
+	specs, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "icount"}},
+		Workloads: []spec.Workload{{Name: "2-MIX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.runAll(specs); err != nil {
 		t.Fatal(err)
 	}
 	first := r.get("baseline", "icount", "2-MIX")
-	if err := r.runAll([]job{j}); err != nil {
+	if first == nil {
+		t.Fatal("run not indexed")
+	}
+	if err := r.runAll(specs); err != nil {
 		t.Fatal(err)
 	}
 	if second := r.get("baseline", "icount", "2-MIX"); second != first {
 		t.Error("second runAll re-simulated instead of memoising")
+	}
+}
+
+// TestDefaultParamsShareMemo: an ablation cell whose parameters are all
+// defaults must reuse the base policy's memo entry, not re-simulate.
+func TestDefaultParamsShareMemo(t *testing.T) {
+	r := fastRunner()
+	base, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "stall"}},
+		Workloads: []spec.Workload{{Name: "2-MIX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.runAll(base); err != nil {
+		t.Fatal(err)
+	}
+	first := r.get("baseline", "stall", "2-MIX")
+
+	tuned, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "stall", Params: map[string][]int64{"threshold": {15, 25}}}},
+		Workloads: []spec.Workload{{Name: "2-MIX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.runAll(tuned); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.get("baseline", "stall", "2-MIX"); got != first {
+		t.Error("threshold=15 (the default) did not share the base policy's memo entry")
+	}
+	if got := r.get("baseline", "stall(threshold=25)", "2-MIX"); got == nil || got == first {
+		t.Error("threshold=25 not indexed as its own run")
+	}
+}
+
+func TestRunSpecsTable(t *testing.T) {
+	r := fastRunner()
+	specs, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "dwarn", Params: map[string][]int64{"warn": {1, 2}}}},
+		Workloads: []spec.Workload{{Name: "2-MIX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := r.RunSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	if tb.Rows[0][5] == tb.Rows[1][5] {
+		t.Error("warn=1 and warn=2 share a fingerprint")
 	}
 }
 
@@ -116,7 +179,7 @@ func TestTable4Smoke(t *testing.T) {
 }
 
 func TestExperimentListComplete(t *testing.T) {
-	if len(Experiments) != 11 {
+	if len(Experiments) != 12 {
 		t.Errorf("%d experiments registered", len(Experiments))
 	}
 }

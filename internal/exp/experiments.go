@@ -5,6 +5,7 @@ import (
 
 	"dwarn/internal/core"
 	"dwarn/internal/sim"
+	"dwarn/internal/spec"
 	"dwarn/internal/stats"
 	"dwarn/internal/workload"
 )
@@ -15,15 +16,31 @@ var paperPolicies = core.PaperPolicies()
 // displayName maps registry names to the paper's labels.
 func displayName(p string) string { return core.MustNewPolicy(p).Name() }
 
+// workloadSpecs lifts named workloads onto a sweep's workload axis.
+func workloadSpecs(wls []workload.Workload) []spec.Workload {
+	out := make([]spec.Workload, len(wls))
+	for i, wl := range wls {
+		out[i] = spec.Workload{Name: wl.Name}
+	}
+	return out
+}
+
 // Table2a regenerates Table 2(a): isolated L1/L2 load miss rates and the
 // L1→L2 ratio per benchmark, next to the paper's values.
 func (r *Runner) Table2a() (*Table, error) {
 	names := workload.Names()
-	var jobs []job
+	var solos []spec.Workload
 	for _, b := range names {
-		jobs = append(jobs, job{machine: "baseline", policy: "icount", workload: sim.SoloWorkload(b)})
+		solos = append(solos, spec.Workload{Solo: b})
 	}
-	if err := r.runAll(jobs); err != nil {
+	specs, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "icount"}},
+		Workloads: solos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.runAll(specs); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -51,22 +68,29 @@ func (r *Runner) Table2a() (*Table, error) {
 	return t, nil
 }
 
-// gridJobs builds the policy × workload grid for one machine.
-func gridJobs(machine string, wls []workload.Workload) []job {
-	var jobs []job
-	for _, wl := range wls {
-		for _, p := range paperPolicies {
-			jobs = append(jobs, job{machine: machine, policy: p, workload: wl})
-		}
+// paperGrid expands the paper-policies × workloads grid for one
+// machine (the default policy axis is exactly the six paper policies).
+func (r *Runner) paperGrid(machine string, wls []workload.Workload) ([]spec.RunSpec, error) {
+	return r.grid(spec.SweepSpec{
+		Machines:  []spec.Machine{{Name: machine}},
+		Workloads: workloadSpecs(wls),
+	})
+}
+
+// runPaperGrid expands and runs the grid in one step.
+func (r *Runner) runPaperGrid(machine string, wls []workload.Workload) error {
+	specs, err := r.paperGrid(machine, wls)
+	if err != nil {
+		return err
 	}
-	return jobs
+	return r.runAll(specs)
 }
 
 // Fig1a regenerates Figure 1(a): absolute throughput per workload and
 // policy on the baseline machine.
 func (r *Runner) Fig1a() (*Table, error) {
 	wls := workload.Workloads()
-	if err := r.runAll(gridJobs("baseline", wls)); err != nil {
+	if err := r.runPaperGrid("baseline", wls); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -95,7 +119,7 @@ func policyHeaders() []string {
 // improvementTable builds a DWarn-over-others table from a per-run
 // metric.
 func (r *Runner) improvementTable(id, title, machine string, wls []workload.Workload, metric func(*sim.Result) (float64, error)) (*Table, error) {
-	if err := r.runAll(gridJobs(machine, wls)); err != nil {
+	if err := r.runPaperGrid(machine, wls); err != nil {
 		return nil, err
 	}
 	others := make([]string, 0, len(paperPolicies)-1)
@@ -147,11 +171,14 @@ func (r *Runner) Fig1b() (*Table, error) {
 // as a percentage of fetched instructions.
 func (r *Runner) Fig2() (*Table, error) {
 	wls := workload.Workloads()
-	var jobs []job
-	for _, wl := range wls {
-		jobs = append(jobs, job{machine: "baseline", policy: "flush", workload: wl})
+	specs, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "flush"}},
+		Workloads: workloadSpecs(wls),
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := r.runAll(jobs); err != nil {
+	if err := r.runAll(specs); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -202,7 +229,7 @@ func (r *Runner) Table4() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.runAll(gridJobs("baseline", []workload.Workload{wl})); err != nil {
+	if err := r.runPaperGrid("baseline", []workload.Workload{wl}); err != nil {
 		return nil, err
 	}
 	if err := r.soloAll("baseline", []workload.Workload{wl}); err != nil {

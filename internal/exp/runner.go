@@ -5,9 +5,14 @@
 // relative IPCs on 4-MIX), Figures 4 and 5 (the smaller and deeper
 // machines), plus the ablation studies DESIGN.md calls out.
 //
-// Simulations are memoised and independent runs fan out over a worker
-// pool, so experiments that share the policy × workload × machine grid
-// (Figures 1 and 3, Table 4) pay for each simulation once.
+// Every experiment is a spec grid: the builders declare their runs as
+// spec.SweepSpec axes (machines × policies with parameter grids ×
+// workloads × seeds), expand them deterministically, and hand the cells
+// to the runner. Simulations are memoised by spec fingerprint — the
+// same content-addressed identity the dwarnd service cache uses — and
+// independent cells fan out over a worker pool, so experiments that
+// share grid cells (Figures 1 and 3, Table 4) pay for each simulation
+// once.
 package exp
 
 import (
@@ -15,9 +20,9 @@ import (
 	"runtime"
 	"sync"
 
-	"dwarn/internal/config"
-	"dwarn/internal/pipeline"
 	"dwarn/internal/sim"
+	"dwarn/internal/spec"
+	"dwarn/internal/stats"
 	"dwarn/internal/workload"
 )
 
@@ -56,131 +61,130 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Runner executes and memoises simulations. The memo is keyed by
-// sim.Fingerprint — the same content-addressed identity the dwarnd
-// service cache uses — with a (machine, policy, workload-name) index on
-// top for the lookups the table builders perform.
+// Runner executes and memoises simulations. The memo is keyed by the
+// spec fingerprint, with a (machine, policy-id, workload, seed) index
+// on top for the lookups the table builders perform.
 type Runner struct {
-	cfg Config
+	cfg    Config
+	traces spec.TraceResolver
 
 	mu    sync.Mutex
 	runs  map[string]*sim.Result // fingerprint → result
 	errs  map[string]error       // fingerprint → error
-	index map[runKey]string      // name triple → fingerprint
+	index map[runKey]string      // identity quad → fingerprint
 }
 
 type runKey struct {
 	machine  string
-	policy   string
+	policy   string // canonical compact id: "stall", "dwarn(warn=2)"
 	workload string
+	seed     uint64
 }
 
-// NewRunner builds a Runner with the given protocol.
+// NewRunner builds a Runner with the given protocol. Spec files that
+// reference traces resolve them as filesystem paths.
 func NewRunner(cfg Config) *Runner {
 	return &Runner{
-		cfg:   cfg.withDefaults(),
-		runs:  make(map[string]*sim.Result),
-		errs:  make(map[string]error),
-		index: make(map[runKey]string),
+		cfg:    cfg.withDefaults(),
+		traces: spec.FileTraces{},
+		runs:   make(map[string]*sim.Result),
+		errs:   make(map[string]error),
+		index:  make(map[runKey]string),
 	}
 }
 
-// job is one simulation to perform.
-type job struct {
-	machine  string
-	policy   string                      // registry name, or "" when instance is set
-	instance func() pipeline.FetchPolicy // for parameterised policies
-	workload workload.Workload
-	label    string // memo key for instance-based jobs
+// grid expands a sweep under the runner's protocol: the experiment
+// declares the axes, the runner supplies seed and run lengths.
+func (r *Runner) grid(ss spec.SweepSpec) ([]spec.RunSpec, error) {
+	ss.WarmupCycles = r.cfg.WarmupCycles
+	ss.MeasureCycles = r.cfg.MeasureCycles
+	if len(ss.Seeds) == 0 {
+		ss.Seeds = []uint64{r.cfg.Seed}
+	}
+	return ss.Expand(0)
 }
 
-// policyID is the policy component of the memo key: the registry name,
-// or the label for parameterised instances.
-func (j job) policyID() string {
-	if j.policy != "" {
-		return j.policy
-	}
-	return j.label
+// gridCell is one resolved grid point.
+type gridCell struct {
+	res *spec.Resolved
+	key runKey
 }
 
-func (j job) key() runKey {
-	return runKey{machine: j.machine, policy: j.policyID(), workload: j.workload.Name}
-}
-
-// options assembles the sim.Options for a job.
-func (r *Runner) options(j job) (sim.Options, error) {
-	cfg, err := config.ByName(j.machine)
-	if err != nil {
-		return sim.Options{}, err
-	}
-	opts := sim.Options{
-		Config:        cfg,
-		Policy:        j.policy,
-		Workload:      j.workload,
-		Seed:          r.cfg.Seed,
-		WarmupCycles:  r.cfg.WarmupCycles,
-		MeasureCycles: r.cfg.MeasureCycles,
-	}
-	if j.instance != nil {
-		opts.PolicyInstance = j.instance()
-	}
-	return opts, nil
-}
-
-// runAll completes all jobs, memoised, fanning out over the worker pool.
-func (r *Runner) runAll(jobs []job) error {
-	type pendingJob struct {
-		opts sim.Options
-		fp   string
-	}
-	// Resolve every job before reserving anything, so a bad job cannot
-	// strand nil reservations in the memo for the good ones.
-	prepared := make([]pendingJob, len(jobs))
-	for i, j := range jobs {
-		opts, err := r.options(j)
+// resolveAll compiles every spec before anything runs, so a bad cell
+// cannot strand reservations in the memo for the good ones.
+func (r *Runner) resolveAll(specs []spec.RunSpec) ([]gridCell, error) {
+	cells := make([]gridCell, len(specs))
+	for i, rs := range specs {
+		res, err := rs.Resolve(r.traces)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		prepared[i] = pendingJob{opts: opts, fp: sim.Fingerprint(opts, j.policyID())}
+		cells[i] = gridCell{res: res, key: cellKey(res)}
 	}
+	return cells, nil
+}
 
-	var pending []pendingJob
-	fps := make([]string, len(jobs))
+// cellKey derives the index quad from a resolved run.
+func cellKey(res *spec.Resolved) runKey {
+	wl := res.Options.Workload.Name
+	if res.Options.Trace != nil {
+		wl = res.Spec.Workload.ID()
+	}
+	return runKey{
+		machine:  res.Spec.Machine.Name,
+		policy:   res.Spec.Policy.ID(),
+		workload: wl,
+		seed:     res.Spec.Seed,
+	}
+}
+
+// runAll completes all cells, memoised, fanning out over the worker pool.
+func (r *Runner) runAll(specs []spec.RunSpec) error {
+	cells, err := r.resolveAll(specs)
+	if err != nil {
+		return err
+	}
+	return r.runResolved(cells)
+}
+
+func (r *Runner) runResolved(cells []gridCell) error {
+	var pending []gridCell
+	fps := make([]string, len(cells))
 	r.mu.Lock()
-	for i, j := range jobs {
-		p := prepared[i]
-		fps[i] = p.fp
-		r.index[j.key()] = p.fp
-		if _, ok := r.runs[p.fp]; ok {
+	for i, c := range cells {
+		fp := c.res.Fingerprint
+		fps[i] = fp
+		r.index[c.key] = fp
+		if _, ok := r.runs[fp]; ok {
 			continue
 		}
-		if _, ok := r.errs[p.fp]; ok {
+		if _, ok := r.errs[fp]; ok {
 			continue
 		}
-		// Reserve the slot so duplicate jobs in this batch run once.
-		r.runs[p.fp] = nil
-		pending = append(pending, p)
+		// Reserve the slot so duplicate cells in this batch run once.
+		r.runs[fp] = nil
+		pending = append(pending, c)
 	}
 	r.mu.Unlock()
 
 	sem := make(chan struct{}, r.cfg.Parallelism)
 	var wg sync.WaitGroup
-	for _, p := range pending {
+	for _, c := range pending {
 		wg.Add(1)
-		go func(p pendingJob) {
+		go func(c gridCell) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := sim.Run(p.opts)
+			res, err := sim.Run(c.res.Options)
 			r.mu.Lock()
 			if err != nil {
-				delete(r.runs, p.fp)
-				r.errs[p.fp] = err
+				delete(r.runs, c.res.Fingerprint)
+				r.errs[c.res.Fingerprint] = err
 			} else {
-				r.runs[p.fp] = res
+				r.runs[c.res.Fingerprint] = res
 			}
 			r.mu.Unlock()
-		}(p)
+		}(c)
 	}
 	wg.Wait()
 
@@ -194,36 +198,58 @@ func (r *Runner) runAll(jobs []job) error {
 	return nil
 }
 
-// get returns a memoised result; runAll must have succeeded for its job.
-func (r *Runner) get(machine, policy string, wl string) *sim.Result {
+// get returns a memoised result under the runner's own seed; runAll
+// must have succeeded for its cell.
+func (r *Runner) get(machine, policy, wl string) *sim.Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.runs[r.index[runKey{machine: machine, policy: policy, workload: wl}]]
+	return r.runs[r.index[runKey{machine: machine, policy: policy, workload: wl, seed: r.cfg.Seed}]]
 }
 
-// Solo returns the single-thread IPC of a benchmark on a machine (the
-// relative-IPC denominator), memoised via the same cache.
-func (r *Runner) solo(machine, bench string) (float64, error) {
-	wl := sim.SoloWorkload(bench)
-	if err := r.runAll([]job{{machine: machine, policy: "icount", workload: wl}}); err != nil {
-		return 0, err
-	}
-	return r.get(machine, "icount", wl.Name).Threads[0].IPC, nil
-}
-
-// soloAll warms the solo cache for every benchmark in the workloads.
-func (r *Runner) soloAll(machine string, wls []workload.Workload) error {
+// soloSpecs builds the solo-baseline workload axis for every distinct
+// benchmark in the workloads.
+func soloSpecs(wls []workload.Workload) []spec.Workload {
 	seen := map[string]bool{}
-	var jobs []job
+	var out []spec.Workload
 	for _, wl := range wls {
 		for _, b := range wl.Benchmarks {
 			if !seen[b] {
 				seen[b] = true
-				jobs = append(jobs, job{machine: machine, policy: "icount", workload: sim.SoloWorkload(b)})
+				out = append(out, spec.Workload{Solo: b})
 			}
 		}
 	}
-	return r.runAll(jobs)
+	return out
+}
+
+// solo returns the single-thread IPC of a benchmark on a machine (the
+// relative-IPC denominator), memoised via the same cache.
+func (r *Runner) solo(machine, bench string) (float64, error) {
+	specs, err := r.grid(spec.SweepSpec{
+		Machines:  []spec.Machine{{Name: machine}},
+		Policies:  []spec.PolicyAxis{{Name: "icount"}},
+		Workloads: []spec.Workload{{Solo: bench}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.runAll(specs); err != nil {
+		return 0, err
+	}
+	return r.get(machine, "icount", "solo-"+bench).Threads[0].IPC, nil
+}
+
+// soloAll warms the solo cache for every benchmark in the workloads.
+func (r *Runner) soloAll(machine string, wls []workload.Workload) error {
+	specs, err := r.grid(spec.SweepSpec{
+		Machines:  []spec.Machine{{Name: machine}},
+		Policies:  []spec.PolicyAxis{{Name: "icount"}},
+		Workloads: soloSpecs(wls),
+	})
+	if err != nil {
+		return err
+	}
+	return r.runAll(specs)
 }
 
 // relIPCs computes each thread's relative IPC for a finished run.
@@ -240,4 +266,106 @@ func (r *Runner) relIPCs(machine string, res *sim.Result) ([]float64, error) {
 		rel[i] = t.IPC / solo
 	}
 	return rel, nil
+}
+
+// RunSpecs executes an arbitrary spec grid (the -spec path of
+// cmd/experiments) and renders one generic table: a row per cell with
+// its resolved identity, throughput, and fingerprint. Cells with
+// baselines set additionally report Hmean and weighted speedup over
+// solo-ICOUNT baselines run at the cell's own machine, seed, and
+// protocol (memoised like everything else).
+func (r *Runner) RunSpecs(cells []spec.RunSpec) (*Table, error) {
+	resolved, err := r.resolveAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.runResolved(resolved); err != nil {
+		return nil, err
+	}
+
+	// Baselines pass: collect each requesting cell's solo runs, dedupe
+	// by fingerprint, and run them as one batch.
+	cellSolos := make([]map[string]string, len(resolved)) // per cell: bench → solo fingerprint
+	soloBatch := map[string]gridCell{}
+	for i, c := range resolved {
+		if !c.res.Spec.Baselines || c.res.Options.Trace != nil {
+			continue
+		}
+		solos := map[string]string{}
+		for _, b := range c.res.Options.Workload.Benchmarks {
+			if _, ok := solos[b]; ok {
+				continue
+			}
+			soloSpec := spec.RunSpec{
+				Machine:       c.res.Spec.Machine,
+				Policy:        spec.Policy{Name: "icount"},
+				Workload:      spec.Workload{Solo: b},
+				Seed:          c.res.Spec.Seed,
+				WarmupCycles:  c.res.Spec.WarmupCycles,
+				MeasureCycles: c.res.Spec.MeasureCycles,
+			}
+			sr, err := soloSpec.Resolve(nil)
+			if err != nil {
+				return nil, err
+			}
+			solos[b] = sr.Fingerprint
+			soloBatch[sr.Fingerprint] = gridCell{res: sr, key: cellKey(sr)}
+		}
+		cellSolos[i] = solos
+	}
+	if len(soloBatch) > 0 {
+		batch := make([]gridCell, 0, len(soloBatch))
+		for _, c := range soloBatch {
+			batch = append(batch, c)
+		}
+		if err := r.runResolved(batch); err != nil {
+			return nil, err
+		}
+	}
+
+	hasBaselines := false
+	for _, m := range cellSolos {
+		if m != nil {
+			hasBaselines = true
+			break
+		}
+	}
+
+	t := &Table{
+		ID:     "spec-grid",
+		Title:  "spec grid results",
+		Header: []string{"machine", "policy", "workload", "seed", "throughput", "fingerprint"},
+	}
+	if hasBaselines {
+		t.Header = append(t.Header, "hmean", "wspeedup")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range resolved {
+		res := r.runs[c.res.Fingerprint]
+		row := []string{
+			c.key.machine, c.key.policy, c.key.workload,
+			fmt.Sprintf("%d", c.key.seed),
+			cell(res.Throughput),
+			c.res.Fingerprint[:12],
+		}
+		if hasBaselines {
+			hm, ws := "-", "-"
+			if solos := cellSolos[i]; solos != nil {
+				smt := res.IPCs()
+				solo := make([]float64, len(res.Threads))
+				for j, th := range res.Threads {
+					solo[j] = r.runs[solos[th.Benchmark]].Threads[0].IPC
+				}
+				summary, err := stats.Summarize(smt, solo)
+				if err != nil {
+					return nil, err
+				}
+				hm, ws = cell(summary.Hmean), cell(summary.WeightedSpeedup)
+			}
+			row = append(row, hm, ws)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
 }

@@ -1,26 +1,29 @@
 // Package service exposes the simulator as a long-lived HTTP service:
 // REST endpoints over a bounded worker pool with a FIFO job queue,
 // per-job cancellation, and a content-addressed LRU result cache keyed
-// by sim.Fingerprint so identical requests — including the solo-IPC
-// baselines behind every Hmean/weighted-speedup computation — are paid
-// for once across requests. See DESIGN.md §dwarnd for the architecture.
+// by the spec fingerprint so identical requests — including the
+// solo-IPC baselines behind every Hmean/weighted-speedup computation —
+// are paid for once across requests and across API versions. The /v2
+// endpoints speak internal/spec natively; the /v1 handlers are thin
+// adapters that translate their request shapes into the same RunSpecs,
+// so a v1 request and its v2 spelling share one cache entry. See
+// DESIGN.md §dwarnd for the architecture.
 package service
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
-	"dwarn/internal/config"
-	"dwarn/internal/core"
 	"dwarn/internal/sim"
+	"dwarn/internal/spec"
 	"dwarn/internal/stats"
-	"dwarn/internal/workload"
 )
 
 // SimulationRequest is the body of POST /v1/simulations: one machine ×
 // policy × workload run. Zero-valued protocol fields take the sim
-// package defaults, so the empty request minus Policy/Workload is valid.
+// package defaults, so the empty request minus Policy/Workload is
+// valid. Internally it is an adapter: Spec() translates it to the
+// canonical spec.RunSpec every run is keyed by.
 type SimulationRequest struct {
 	// Machine names a configuration: "baseline" (default), "small", "deep".
 	Machine string `json:"machine,omitempty"`
@@ -46,6 +49,28 @@ type SimulationRequest struct {
 	Baselines bool `json:"baselines,omitempty"`
 }
 
+// Spec translates the v1 request into the canonical run spec. The
+// translation is total; validation happens when the spec is resolved.
+func (req *SimulationRequest) Spec() spec.RunSpec {
+	var machine *spec.Machine
+	if req.Machine != "" {
+		machine = &spec.Machine{Name: req.Machine}
+	}
+	return spec.RunSpec{
+		Machine: machine,
+		Policy:  spec.Policy{Name: req.Policy},
+		Workload: spec.Workload{
+			Name:       req.Workload,
+			Benchmarks: req.Benchmarks,
+			Trace:      req.Trace,
+		},
+		Seed:          req.Seed,
+		WarmupCycles:  req.WarmupCycles,
+		MeasureCycles: req.MeasureCycles,
+		Baselines:     req.Baselines,
+	}
+}
+
 // SimulationResult is the payload of a finished simulation job. Repeat
 // submissions of an identical request are served byte-for-byte from the
 // result cache.
@@ -59,7 +84,8 @@ type SimulationResult struct {
 }
 
 // SweepRequest is the body of POST /v1/sweeps: the cross product of
-// machines × policies × workloads fans out into one job per cell.
+// machines × policies × workloads fans out into one job per cell. Like
+// SimulationRequest it is an adapter over the spec grid form.
 type SweepRequest struct {
 	// Machines defaults to ["baseline"].
 	Machines []string `json:"machines,omitempty"`
@@ -80,12 +106,56 @@ type SweepRequest struct {
 	Baselines bool `json:"baselines,omitempty"`
 }
 
+// Spec translates the v1 sweep into the canonical grid form.
+func (req *SweepRequest) Spec() (spec.SweepSpec, error) {
+	switch {
+	case req.Trace != "" && len(req.Workloads) > 0:
+		return spec.SweepSpec{}, fmt.Errorf("service: set workloads or trace, not both")
+	case req.Trace == "" && len(req.Workloads) == 0:
+		return spec.SweepSpec{}, fmt.Errorf("service: sweep needs at least one workload or a trace")
+	}
+
+	var machines []spec.Machine
+	for _, m := range req.Machines {
+		machines = append(machines, spec.Machine{Name: m})
+	}
+	var policies []spec.PolicyAxis
+	for _, p := range req.Policies {
+		policies = append(policies, spec.PolicyAxis{Name: p})
+	}
+	var workloads []spec.Workload
+	if req.Trace != "" {
+		workloads = []spec.Workload{{Trace: req.Trace}}
+	} else {
+		for _, w := range req.Workloads {
+			workloads = append(workloads, spec.Workload{Name: w})
+		}
+	}
+	var seeds []uint64
+	if req.Seed != 0 {
+		seeds = []uint64{req.Seed}
+	}
+	return spec.SweepSpec{
+		Machines:      machines,
+		Policies:      policies,
+		Workloads:     workloads,
+		Seeds:         seeds,
+		WarmupCycles:  req.WarmupCycles,
+		MeasureCycles: req.MeasureCycles,
+		Baselines:     req.Baselines,
+	}, nil
+}
+
 // SweepCell is one grid point of a sweep's status.
 type SweepCell struct {
 	Machine  string `json:"machine"`
 	Policy   string `json:"policy"`
 	Workload string `json:"workload,omitempty"`
 	Trace    string `json:"trace,omitempty"`
+	// Seed is the cell's resolved seed (sweeps may replicate over seeds).
+	Seed uint64 `json:"seed,omitempty"`
+	// Fingerprint is the cell's content-addressed run identity.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// JobID is the cell's simulation job; poll it for the full result.
 	JobID string `json:"job_id"`
 	State string `json:"state"`
@@ -97,7 +167,7 @@ type SweepCell struct {
 	Error           string   `json:"error,omitempty"`
 }
 
-// SweepStatus is the response for GET /v1/sweeps/{id}.
+// SweepStatus is the response for GET /v1/sweeps/{id} and /v2/sweeps/{id}.
 type SweepStatus struct {
 	ID          string    `json:"id"`
 	State       string    `json:"state"` // running | done | failed | canceled
@@ -112,115 +182,6 @@ type SweepStatus struct {
 	Cells []SweepCell `json:"cells"`
 }
 
-// maxNameLen bounds request-supplied names so hostile payloads cannot
-// bloat job records or cache keys.
-const maxNameLen = 128
-
-// resolve validates a SimulationRequest against the registries (and,
-// for trace-driven requests, the trace store) and converts it to
-// sim.Options. maxCycles bounds the requested run lengths (0 =
-// unbounded).
-func (req *SimulationRequest) resolve(maxCycles int64, traces *TraceStore) (sim.Options, error) {
-	var opts sim.Options
-
-	cfg, err := config.ByName(req.Machine)
-	if err != nil {
-		return opts, err
-	}
-
-	if req.Policy == "" {
-		return opts, fmt.Errorf("service: request needs a policy (known: %v)", core.Policies())
-	}
-	if _, err := core.NewPolicy(req.Policy); err != nil {
-		return opts, err
-	}
-
-	set := 0
-	for _, ok := range []bool{req.Workload != "", len(req.Benchmarks) > 0, req.Trace != ""} {
-		if ok {
-			set++
-		}
-	}
-	if set > 1 {
-		return opts, fmt.Errorf("service: set exactly one of workload, benchmarks, trace")
-	}
-
-	if req.Trace != "" {
-		if len(req.Trace) > maxNameLen {
-			return opts, fmt.Errorf("service: name too long")
-		}
-		if req.Baselines {
-			// Relative-IPC baselines re-run each benchmark solo through
-			// the synthetic generators, which a trace run replaces.
-			return opts, fmt.Errorf("service: baselines are not supported for trace runs")
-		}
-		tr, err := traces.Get(req.Trace)
-		if err != nil {
-			return opts, err
-		}
-		if len(tr.Threads) > cfg.HardwareContexts {
-			return opts, fmt.Errorf("service: trace has %d threads but the %s machine has %d hardware contexts",
-				len(tr.Threads), cfg.Name, cfg.HardwareContexts)
-		}
-		if err := checkCycles(req.WarmupCycles, req.MeasureCycles, maxCycles); err != nil {
-			return opts, err
-		}
-		if len(req.Machine) > maxNameLen || len(req.Policy) > maxNameLen {
-			return opts, fmt.Errorf("service: name too long")
-		}
-		return sim.Options{
-			Config:        cfg,
-			Policy:        req.Policy,
-			Trace:         tr,
-			Seed:          req.Seed,
-			WarmupCycles:  req.WarmupCycles,
-			MeasureCycles: req.MeasureCycles,
-		}, nil
-	}
-
-	var wl workload.Workload
-	switch {
-	case req.Workload != "":
-		wl, err = workload.GetWorkload(req.Workload)
-		if err != nil {
-			return opts, err
-		}
-	case len(req.Benchmarks) > 0:
-		if len(req.Benchmarks) > cfg.HardwareContexts {
-			return opts, fmt.Errorf("service: %d benchmarks exceed the %s machine's %d hardware contexts",
-				len(req.Benchmarks), cfg.Name, cfg.HardwareContexts)
-		}
-		// The name encodes the content so the fingerprint of a custom
-		// workload is stable across requests.
-		wl, err = workload.Custom("custom:"+strings.Join(req.Benchmarks, "+"), req.Benchmarks)
-		if err != nil {
-			return opts, err
-		}
-	default:
-		return opts, fmt.Errorf("service: request needs a workload or benchmarks")
-	}
-	if wl.Threads > cfg.HardwareContexts {
-		return opts, fmt.Errorf("service: workload %s needs %d contexts but the %s machine has %d",
-			wl.Name, wl.Threads, cfg.Name, cfg.HardwareContexts)
-	}
-
-	if err := checkCycles(req.WarmupCycles, req.MeasureCycles, maxCycles); err != nil {
-		return opts, err
-	}
-	if len(req.Machine) > maxNameLen || len(req.Policy) > maxNameLen || len(req.Workload) > maxNameLen {
-		return opts, fmt.Errorf("service: name too long")
-	}
-
-	return sim.Options{
-		Config:        cfg,
-		Policy:        req.Policy,
-		Workload:      wl,
-		Seed:          req.Seed,
-		WarmupCycles:  req.WarmupCycles,
-		MeasureCycles: req.MeasureCycles,
-	}, nil
-}
-
 // checkCycles validates requested run lengths against the per-run cap.
 func checkCycles(warmup, measure, maxCycles int64) error {
 	if warmup < 0 || measure < 0 {
@@ -230,59 +191,4 @@ func checkCycles(warmup, measure, maxCycles int64) error {
 		return fmt.Errorf("service: cycle counts capped at %d per run", maxCycles)
 	}
 	return nil
-}
-
-// cells expands a SweepRequest into per-cell SimulationRequests,
-// validating every cell before any job is created. A trace sweep fans
-// out machines × policies over the one uploaded trace; a workload
-// sweep adds the workload axis.
-func (req *SweepRequest) cells(maxCycles int64, traces *TraceStore) ([]SimulationRequest, error) {
-	machines := req.Machines
-	if len(machines) == 0 {
-		machines = []string{"baseline"}
-	}
-	policies := req.Policies
-	if len(policies) == 0 {
-		policies = core.PaperPolicies()
-	}
-	switch {
-	case req.Trace != "" && len(req.Workloads) > 0:
-		return nil, fmt.Errorf("service: set workloads or trace, not both")
-	case req.Trace == "" && len(req.Workloads) == 0:
-		return nil, fmt.Errorf("service: sweep needs at least one workload or a trace")
-	}
-	workloads := req.Workloads
-	if req.Trace != "" {
-		workloads = []string{""} // one cell per machine × policy
-	}
-
-	out := make([]SimulationRequest, 0, len(machines)*len(policies)*len(workloads))
-	for _, m := range machines {
-		if m == "" {
-			m = "baseline"
-		}
-		for _, p := range policies {
-			for _, w := range workloads {
-				cell := SimulationRequest{
-					Machine:       m,
-					Policy:        p,
-					Workload:      w,
-					Trace:         req.Trace,
-					Seed:          req.Seed,
-					WarmupCycles:  req.WarmupCycles,
-					MeasureCycles: req.MeasureCycles,
-					Baselines:     req.Baselines,
-				}
-				target := w
-				if cell.Trace != "" {
-					target = "trace:" + cell.Trace
-				}
-				if _, err := cell.resolve(maxCycles, traces); err != nil {
-					return nil, fmt.Errorf("sweep cell %s/%s/%s: %w", m, p, target, err)
-				}
-				out = append(out, cell)
-			}
-		}
-	}
-	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/sim"
+	"dwarn/internal/spec"
 	"dwarn/internal/stats"
 	"dwarn/internal/workload"
 )
@@ -33,6 +34,10 @@ type Options struct {
 	MaxJobRecords int
 	// MaxSweepRecords bounds retained sweep records (default 256).
 	MaxSweepRecords int
+	// MaxSweepCells bounds one sweep's expansion (default 1024); a
+	// larger grid is rejected with a 400 rather than fanning out
+	// unbounded jobs.
+	MaxSweepCells int
 	// MaxTraceBytes caps an uploaded trace file (compressed bytes on
 	// the wire; default 32MB).
 	MaxTraceBytes int64
@@ -71,6 +76,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepRecords <= 0 {
 		o.MaxSweepRecords = 256
 	}
+	if o.MaxSweepCells <= 0 {
+		o.MaxSweepCells = 1024
+	}
 	if o.MaxTraceBytes <= 0 {
 		o.MaxTraceBytes = 32 << 20
 	}
@@ -86,12 +94,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// sweepCell is one resolved grid point: the canonical spec to run plus
+// the static display identity shown in status responses.
+type sweepCell struct {
+	resolved *spec.Resolved
+	view     SweepCell // identity fields only; state is filled per poll
+}
+
 // sweep tracks one sweep's fan-out. jobIDs may be shorter than cells
 // while fan-out is in progress or after it aborted (err is then set).
 type sweep struct {
 	id          string
 	submittedAt time.Time
-	cells       []SimulationRequest
+	cells       []sweepCell
 	jobIDs      []string
 	err         string // fan-out failure, terminal
 }
@@ -143,6 +158,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/traces", s.handleUploadTrace)
 	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
+	s.routesV2()
 }
 
 // Handler returns the root http.Handler.
@@ -194,16 +210,29 @@ func submitError(w http.ResponseWriter, err error) {
 func simKey(fp string) string          { return "sim:" + fp }
 func simBaselinesKey(fp string) string { return "sim+baselines:" + fp }
 
-// runSim returns the marshaled SimulationResult for opts (no summary),
-// computing and caching it on a miss.
-func (s *Server) runSim(ctx context.Context, opts sim.Options) (json.RawMessage, bool, error) {
-	fp := sim.Fingerprint(opts, "")
-	return s.cache.GetOrCompute(ctx, simKey(fp), func() ([]byte, error) {
-		res, err := sim.RunContext(ctx, opts)
+// resolveSpec compiles a spec against the server's trace store and
+// enforces the per-run cycle cap.
+func (s *Server) resolveSpec(rs spec.RunSpec) (*spec.Resolved, error) {
+	res, err := rs.Resolve(s.traces)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCycles(res.Spec.WarmupCycles, res.Spec.MeasureCycles, s.opts.MaxCycles); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSim returns the marshaled SimulationResult for a resolved run (no
+// summary), computing and caching it under the spec fingerprint on a
+// miss.
+func (s *Server) runSim(ctx context.Context, res *spec.Resolved) (json.RawMessage, bool, error) {
+	return s.cache.GetOrCompute(ctx, simKey(res.Fingerprint), func() ([]byte, error) {
+		out, err := sim.RunContext(ctx, res.Options)
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(&SimulationResult{Fingerprint: fp, Result: res})
+		return json.Marshal(&SimulationResult{Fingerprint: res.Fingerprint, Result: out})
 	})
 }
 
@@ -217,13 +246,12 @@ func decodeSim(raw []byte) (*SimulationResult, error) {
 }
 
 // runSimWithBaselines additionally runs each distinct benchmark solo
-// under ICOUNT — every solo run is its own cache entry, shared with any
-// other request that needs the same baseline — and attaches the
-// relative-IPC summary.
-func (s *Server) runSimWithBaselines(ctx context.Context, opts sim.Options) (json.RawMessage, bool, error) {
-	fp := sim.Fingerprint(opts, "")
-	return s.cache.GetOrCompute(ctx, simBaselinesKey(fp), func() ([]byte, error) {
-		raw, _, err := s.runSim(ctx, opts)
+// under ICOUNT — every solo run is a canonical spec of its own, so its
+// cache entry is shared with any other request (v1 or v2) that needs
+// the same baseline — and attaches the relative-IPC summary.
+func (s *Server) runSimWithBaselines(ctx context.Context, res *spec.Resolved) (json.RawMessage, bool, error) {
+	return s.cache.GetOrCompute(ctx, simBaselinesKey(res.Fingerprint), func() ([]byte, error) {
+		raw, _, err := s.runSim(ctx, res)
 		if err != nil {
 			return nil, err
 		}
@@ -233,27 +261,31 @@ func (s *Server) runSimWithBaselines(ctx context.Context, opts sim.Options) (jso
 		}
 
 		soloIPC := make(map[string]float64)
-		for _, bench := range opts.Workload.Benchmarks {
+		for _, bench := range res.Options.Workload.Benchmarks {
 			if _, ok := soloIPC[bench]; ok {
 				continue
 			}
-			soloOpts := sim.Options{
-				Config:        opts.Config,
-				Policy:        "icount",
-				Workload:      sim.SoloWorkload(bench),
-				Seed:          opts.Seed,
-				WarmupCycles:  opts.WarmupCycles,
-				MeasureCycles: opts.MeasureCycles,
+			soloSpec := spec.RunSpec{
+				Machine:       res.Spec.Machine,
+				Policy:        spec.Policy{Name: "icount"},
+				Workload:      spec.Workload{Solo: bench},
+				Seed:          res.Spec.Seed,
+				WarmupCycles:  res.Spec.WarmupCycles,
+				MeasureCycles: res.Spec.MeasureCycles,
 			}
-			soloRaw, _, err := s.runSim(ctx, soloOpts)
+			soloRes, err := soloSpec.Resolve(nil)
 			if err != nil {
 				return nil, err
 			}
-			soloRes, err := decodeSim(soloRaw)
+			soloRaw, _, err := s.runSim(ctx, soloRes)
 			if err != nil {
 				return nil, err
 			}
-			soloIPC[bench] = soloRes.Result.Threads[0].IPC
+			soloOut, err := decodeSim(soloRaw)
+			if err != nil {
+				return nil, err
+			}
+			soloIPC[bench] = soloOut.Result.Threads[0].IPC
 		}
 
 		smt := sr.Result.IPCs()
@@ -269,19 +301,14 @@ func (s *Server) runSimWithBaselines(ctx context.Context, opts sim.Options) (jso
 	})
 }
 
-// submitSimulationJob validates req and either completes it instantly
-// from the cache or enqueues it.
-func (s *Server) submitSimulationJob(req SimulationRequest) (JobView, error) {
-	opts, err := req.resolve(s.opts.MaxCycles, s.traces)
-	if err != nil {
-		return JobView{}, err
-	}
-
-	fp := sim.Fingerprint(opts, "")
-	key := simKey(fp)
+// submitResolved either completes the run instantly from the cache or
+// enqueues it. record is echoed in job status responses: the original
+// request for v1 submissions, the canonical spec for v2.
+func (s *Server) submitResolved(res *spec.Resolved, record any) (JobView, error) {
+	key := simKey(res.Fingerprint)
 	run := s.runSim
-	if req.Baselines {
-		key = simBaselinesKey(fp)
+	if res.Spec.Baselines {
+		key = simBaselinesKey(res.Fingerprint)
 		run = s.runSimWithBaselines
 	}
 
@@ -290,7 +317,7 @@ func (s *Server) submitSimulationJob(req SimulationRequest) (JobView, error) {
 	// Peek rather than Get: a miss here is not an outcome — the queued
 	// job's GetOrCompute records it.
 	if raw, ok := s.cache.Peek(key); ok {
-		j, err := s.mgr.SubmitCompleted("sim", req, raw, true)
+		j, err := s.mgr.SubmitCompleted("sim", record, raw, true)
 		if err != nil {
 			return JobView{}, err
 		}
@@ -298,14 +325,24 @@ func (s *Server) submitSimulationJob(req SimulationRequest) (JobView, error) {
 		return v, nil
 	}
 
-	j, err := s.mgr.Submit("sim", req, func(ctx context.Context) (json.RawMessage, bool, error) {
-		return run(ctx, opts)
+	j, err := s.mgr.Submit("sim", record, func(ctx context.Context) (json.RawMessage, bool, error) {
+		return run(ctx, res)
 	})
 	if err != nil {
 		return JobView{}, err
 	}
 	v, _ := s.mgr.Get(j.ID)
 	return v, nil
+}
+
+// submitSpecJob resolves and submits one spec.
+func (s *Server) submitSpecJob(rs spec.RunSpec, record any) (JobView, *spec.Resolved, error) {
+	res, err := s.resolveSpec(rs)
+	if err != nil {
+		return JobView{}, nil, err
+	}
+	v, err := s.submitResolved(res, record)
+	return v, res, err
 }
 
 // ---- handlers ----
@@ -372,7 +409,7 @@ func (s *Server) handleSubmitSimulation(w http.ResponseWriter, r *http.Request) 
 	if !s.decode(w, r, &req) {
 		return
 	}
-	v, err := s.submitSimulationJob(req)
+	v, _, err := s.submitSpecJob(req.Spec(), req)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
 			submitError(w, err)
@@ -411,17 +448,53 @@ func (s *Server) handleCancelSimulation(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, v)
 }
 
-func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	cells, err := req.cells(s.opts.MaxCycles, s.traces)
+// resolveSweep expands a sweep spec under the cell bound and resolves
+// every cell, validating the whole grid before any job is created.
+func (s *Server) resolveSweep(ss spec.SweepSpec) ([]sweepCell, error) {
+	runs, err := ss.Expand(s.opts.MaxSweepCells)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
+	cells := make([]sweepCell, 0, len(runs))
+	for _, rs := range runs {
+		res, err := s.resolveSpec(rs)
+		if err != nil {
+			return nil, fmt.Errorf("sweep cell %s/%s/%s: %w",
+				machineName(rs.Machine), rs.Policy.ID(), rs.Workload.ID(), err)
+		}
+		cells = append(cells, sweepCell{resolved: res, view: cellIdentity(res)})
+	}
+	return cells, nil
+}
 
+// machineName is the display name of a possibly-nil machine reference.
+func machineName(m *spec.Machine) string {
+	if m == nil || m.Name == "" {
+		return "baseline"
+	}
+	return m.Name
+}
+
+// cellIdentity derives a cell's static display fields from its
+// canonical spec.
+func cellIdentity(res *spec.Resolved) SweepCell {
+	c := SweepCell{
+		Machine:     res.Spec.Machine.Name,
+		Policy:      res.Spec.Policy.ID(),
+		Seed:        res.Spec.Seed,
+		Fingerprint: res.Fingerprint,
+	}
+	if tr := res.Spec.Workload.Trace; tr != "" {
+		c.Trace = tr
+	} else {
+		c.Workload = res.Spec.Workload.ID()
+	}
+	return c
+}
+
+// submitSweep registers and fans out resolved cells, writing the
+// resulting status (or fan-out failure) to w.
+func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
 	// Register the sweep before fanning out so a mid-fan-out failure
 	// leaves an observable record rather than orphaned jobs.
 	s.mu.Lock()
@@ -440,12 +513,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	for _, cell := range cells {
-		v, err := s.submitSimulationJob(cell)
+		v, err := s.submitResolved(cell.resolved, cell.resolved.Spec)
 		if err != nil {
 			// Stop the cells already submitted and record the failure on
 			// the sweep itself; the 503 body carries the partial state.
 			s.mu.Lock()
-			sw.err = fmt.Sprintf("cell %s/%s/%s: %v", cell.Machine, cell.Policy, cell.Workload, err)
+			sw.err = fmt.Sprintf("cell %s/%s/%s: %v", cell.view.Machine, cell.view.Policy, cell.view.Workload, err)
 			ids := append([]string(nil), sw.jobIDs...)
 			s.mu.Unlock()
 			for _, id := range ids {
@@ -463,6 +536,24 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusAccepted, s.sweepStatus(sw))
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ss, err := req.Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, err := s.resolveSweep(ss)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submitSweep(w, cells)
 }
 
 func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
@@ -490,13 +581,8 @@ func (s *Server) sweepStatus(sw *sweep) *SweepStatus {
 		Error:       fanOutErr,
 		Cells:       make([]SweepCell, 0, len(sw.cells)),
 	}
-	for i, req := range sw.cells {
-		cell := SweepCell{
-			Machine:  req.Machine,
-			Policy:   req.Policy,
-			Workload: req.Workload,
-			Trace:    req.Trace,
-		}
+	for i, c := range sw.cells {
+		cell := c.view
 		if i >= len(jobIDs) {
 			cell.State = "unsubmitted"
 			st.Cells = append(st.Cells, cell)

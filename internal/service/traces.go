@@ -140,6 +140,10 @@ func (s *TraceStore) view(id string) TraceView {
 	}
 }
 
+// ResolveTrace implements spec.TraceResolver: spec workload trace
+// references are store ids (content digests or unambiguous prefixes).
+func (s *TraceStore) ResolveTrace(ref string) (*trace.Trace, error) { return s.Get(ref) }
+
 // Len reports the number of stored traces (for /healthz).
 func (s *TraceStore) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dwarn/internal/core"
+	"dwarn/internal/spec"
+)
+
+// The /v2 API speaks internal/spec natively: POST /v2/runs takes a
+// spec.RunSpec, POST /v2/sweeps a spec.SweepSpec. Both are resolved
+// through exactly the code path the /v1 adapters use, so a run has one
+// fingerprint and one cache entry regardless of which API version (or
+// which CLI) asked for it. Jobs and sweeps share the /v1 id spaces:
+// a job submitted on one version can be polled on the other.
+
+// RunAccepted is the response of POST /v2/runs: the job plus the
+// content-addressed identity of the run it executes (or was served
+// from cache for).
+type RunAccepted struct {
+	JobView
+	Fingerprint string `json:"fingerprint"`
+	// Canonical is the canonical form of the submitted spec: defaults
+	// applied, machine fully resolved, policy parameters completed.
+	Canonical *spec.RunSpec `json:"canonical,omitempty"`
+}
+
+func (s *Server) routesV2() {
+	s.mux.HandleFunc("GET /v2/policies", s.handlePoliciesV2)
+	s.mux.HandleFunc("POST /v2/runs", s.handleSubmitRunV2)
+	s.mux.HandleFunc("GET /v2/runs", s.handleListSimulations)
+	s.mux.HandleFunc("GET /v2/runs/{id}", s.handleGetSimulation)
+	s.mux.HandleFunc("DELETE /v2/runs/{id}", s.handleCancelSimulation)
+	s.mux.HandleFunc("POST /v2/sweeps", s.handleSubmitSweepV2)
+	s.mux.HandleFunc("GET /v2/sweeps/{id}", s.handleGetSweep)
+}
+
+// handlePoliciesV2 lists the registry with its declared parameters —
+// the data a client needs to build parameterised policy references and
+// sweep grids without guessing.
+func (s *Server) handlePoliciesV2(w http.ResponseWriter, r *http.Request) {
+	type policy struct {
+		Name   string           `json:"name"`
+		Params []core.ParamSpec `json:"params,omitempty"`
+	}
+	var out []policy
+	for _, name := range core.Policies() {
+		params, err := core.PolicyParams(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, policy{Name: name, Params: params})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policies": out,
+		"paper":    core.PaperPolicies(),
+	})
+}
+
+func (s *Server) handleSubmitRunV2(w http.ResponseWriter, r *http.Request) {
+	var rs spec.RunSpec
+	if !s.decode(w, r, &rs) {
+		return
+	}
+	res, err := s.resolveSpec(rs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.submitResolved(res, res.Spec)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, RunAccepted{JobView: v, Fingerprint: res.Fingerprint, Canonical: &res.Spec})
+}
+
+// Preload expands a spec file and submits every cell, warming the
+// result cache before traffic arrives (dwarnd's -spec flag). Cells are
+// bounded like any sweep; trace references would resolve against the
+// trace store, which is empty at startup, so preload specs are
+// synthetic-workload only in practice.
+//
+// Every cell is resolved (validated) before anything is submitted, so
+// a bad spec file fails without side effects. Submission itself is
+// best-effort against the bounded job queue: a grid larger than the
+// free queue depth stops at ErrQueueFull, returning the views admitted
+// so far alongside the error — those keep warming the cache, and the
+// caller decides whether a partial preload is fatal.
+func (s *Server) Preload(f *spec.File) ([]JobView, error) {
+	runs, err := f.Runs(s.opts.MaxSweepCells)
+	if err != nil {
+		return nil, err
+	}
+	resolved := make([]*spec.Resolved, len(runs))
+	for i, rs := range runs {
+		if resolved[i], err = s.resolveSpec(rs); err != nil {
+			return nil, err
+		}
+	}
+	views := make([]JobView, 0, len(resolved))
+	for _, res := range resolved {
+		v, err := s.submitResolved(res, res.Spec)
+		if err != nil {
+			if errors.Is(err, ErrQueueFull) {
+				return views, fmt.Errorf("%w after %d of %d runs", err, len(views), len(resolved))
+			}
+			return views, err
+		}
+		views = append(views, v)
+	}
+	return views, nil
+}
+
+func (s *Server) handleSubmitSweepV2(w http.ResponseWriter, r *http.Request) {
+	var ss spec.SweepSpec
+	if !s.decode(w, r, &ss) {
+		return
+	}
+	cells, err := s.resolveSweep(ss)
+	if err != nil {
+		// Validation failures — including a grid that fans out beyond
+		// the configured cell bound (spec.ErrTooManyCells names the
+		// limit) — are client errors, reported before any job exists.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submitSweep(w, cells)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dwarn/internal/config"
+	"dwarn/internal/core"
 	"dwarn/internal/pipeline"
 	"dwarn/internal/workload"
 )
@@ -25,11 +26,11 @@ import (
 // one.
 //
 // policyID overrides the policy component of the key; pass it for
-// parameterised PolicyInstance runs labelled by the caller (the exp
-// ablations use "stall-t6", "dg-n2", ...). When empty, opts.Policy or
-// PolicyInstance.Name() is used, with the instance's Params() folded in
-// when it implements pipeline.ParameterizedPolicy — so a threshold
-// sweep never collides with the base policy's cache entries.
+// out-of-registry PolicyInstance runs labelled by the caller. When
+// empty, the canonical {Policy, PolicyParams} identity is used — or,
+// for instance runs, PolicyInstance.Name() with the instance's Params()
+// folded in when it implements pipeline.ParameterizedPolicy — so a
+// threshold sweep never collides with the base policy's cache entries.
 func Fingerprint(opts Options, policyID string) string {
 	cfg := opts.Config
 	if cfg == nil {
@@ -54,7 +55,10 @@ func Fingerprint(opts Options, policyID string) string {
 				policyID += "|" + pp.Params()
 			}
 		} else {
-			policyID = opts.Policy
+			// Canonical {name, params} identity: the bare name when every
+			// parameter is at its default, so explicit defaults share the
+			// cache entries of unparameterised requests.
+			policyID = core.PolicyID(opts.Policy, opts.PolicyParams)
 		}
 	}
 

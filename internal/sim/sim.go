@@ -27,8 +27,15 @@ type Options struct {
 	// Policy is a registry name ("icount", "stall", "flush", "dg",
 	// "pdg", "dwarn", "dwarn-prio"). Ignored if PolicyInstance is set.
 	Policy string
-	// PolicyInstance overrides Policy with a pre-built policy (used for
-	// threshold sweeps).
+	// PolicyParams tunes the named policy's registry-declared parameters
+	// (DWarn's warn threshold, STALL/FLUSH's declaration threshold, DG's
+	// gate count); absent parameters take their paper defaults. This is
+	// how specs request the paper's §5 threshold sweeps.
+	PolicyParams map[string]int64
+	// PolicyInstance overrides Policy with a pre-built policy — the
+	// in-process escape hatch for policies living outside the registry.
+	// Registry policies should use Policy + PolicyParams instead, which
+	// content-addressed caches understand natively.
 	PolicyInstance pipeline.FetchPolicy
 	// Workload is the multiprogrammed workload to run. Ignored when
 	// Trace is set (the trace's own metadata drives thread count and
@@ -163,7 +170,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	pol := opts.PolicyInstance
 	if pol == nil {
 		var err error
-		pol, err = core.NewPolicy(opts.Policy)
+		pol, err = core.NewPolicyParams(opts.Policy, opts.PolicyParams)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,109 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the spec golden files")
+
+// goldenSpecs are the pinned inputs. Changing what they canonicalize or
+// fingerprint to is a cache-identity break across every frontend — if
+// that is intended (new config field, recalibrated profile), regenerate
+// with `go test ./internal/spec -run Golden -update` and say so in the
+// commit.
+var goldenSpecs = map[string]RunSpec{
+	"minimal": {
+		Policy:   Policy{Name: "dwarn"},
+		Workload: Workload{Name: "4-MIX"},
+	},
+	"dwarn-warn2-deep": {
+		Machine:       &Machine{Name: "deep"},
+		Policy:        Policy{Name: "dwarn", Params: map[string]int64{"warn": 2}},
+		Workload:      Workload{Name: "2-MEM"},
+		Seed:          7,
+		WarmupCycles:  5_000,
+		MeasureCycles: 10_000,
+	},
+	"override-solo": {
+		Machine:  &Machine{Name: "baseline", Overrides: []byte(`{"MemLatency": 200}`)},
+		Policy:   Policy{Name: "stall", Params: map[string]int64{"threshold": 25}},
+		Workload: Workload{Solo: "mcf"},
+	},
+	"custom-benchmarks": {
+		Policy:    Policy{Name: "icount"},
+		Workload:  Workload{Benchmarks: []string{"gzip", "mcf"}},
+		Baselines: true,
+	},
+}
+
+// goldenRecord is what each golden file pins: the canonical JSON and
+// the fingerprint of one spec.
+type goldenRecord struct {
+	Canonical   *RunSpec `json:"canonical"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+func TestGoldenCanonicalFormAndFingerprint(t *testing.T) {
+	for name, s := range goldenSpecs {
+		t.Run(name, func(t *testing.T) {
+			res, err := s.Resolve(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(goldenRecord{Canonical: &res.Spec, Fingerprint: res.Fingerprint}, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("canonical form or fingerprint drifted from %s.\ngot:\n%s\nwant:\n%s\n(run with -update if the change is intended)", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip: a golden file's canonical spec must parse back
+// and resolve to its own pinned fingerprint — the property that lets
+// canonical specs be stored and replayed as files.
+func TestGoldenRoundTrip(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	for name := range goldenSpecs {
+		raw, err := os.ReadFile(filepath.Join("testdata", name+".golden.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec goldenRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		fp, err := rec.Canonical.Fingerprint(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp != rec.Fingerprint {
+			t.Errorf("%s: canonical spec resolves to %s, pinned %s", name, fp, rec.Fingerprint)
+		}
+	}
+}

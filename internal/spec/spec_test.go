@@ -1,0 +1,273 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dwarn/internal/config"
+)
+
+func mustResolve(t *testing.T, s RunSpec) *Resolved {
+	t.Helper()
+	res, err := s.Resolve(nil)
+	if err != nil {
+		t.Fatalf("Resolve(%+v): %v", s, err)
+	}
+	return res
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]RunSpec{
+		"no policy":        {Workload: Workload{Name: "4-MIX"}},
+		"unknown policy":   {Policy: Policy{Name: "nonesuch"}, Workload: Workload{Name: "4-MIX"}},
+		"unknown param":    {Policy: Policy{Name: "dwarn", Params: map[string]int64{"nope": 1}}, Workload: Workload{Name: "4-MIX"}},
+		"param low":        {Policy: Policy{Name: "dwarn", Params: map[string]int64{"warn": 0}}, Workload: Workload{Name: "4-MIX"}},
+		"param high":       {Policy: Policy{Name: "stall", Params: map[string]int64{"threshold": 1 << 40}}, Workload: Workload{Name: "4-MIX"}},
+		"icount param":     {Policy: Policy{Name: "icount", Params: map[string]int64{"threshold": 1}}, Workload: Workload{Name: "4-MIX"}},
+		"no workload":      {Policy: Policy{Name: "dwarn"}},
+		"two workloads":    {Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX", Solo: "gzip"}},
+		"unknown workload": {Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "nonesuch"}},
+		"unknown solo":     {Policy: Policy{Name: "dwarn"}, Workload: Workload{Solo: "nonesuch"}},
+		"unknown bench":    {Policy: Policy{Name: "dwarn"}, Workload: Workload{Benchmarks: []string{"nonesuch"}}},
+		"unknown machine":  {Machine: &Machine{Name: "nonesuch"}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"bad version":      {Version: 99, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"negative cycles":  {Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}, WarmupCycles: -1},
+		"too many threads": {Machine: &Machine{Name: "small"}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "8-MEM"}},
+		"trace baselines":  {Policy: Policy{Name: "dwarn"}, Workload: Workload{Trace: "abc12345"}, Baselines: true},
+		"bad overrides": {Machine: &Machine{Name: "baseline", Overrides: []byte(`{"NoSuchField": 1}`)},
+			Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"invalid override value": {Machine: &Machine{Name: "baseline", Overrides: []byte(`{"MemLatency": -5}`)},
+			Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"config and overrides": {Machine: &Machine{Config: config.Baseline(), Overrides: []byte(`{"MemLatency": 50}`)},
+			Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"name config mismatch": {Machine: &Machine{Name: "deep", Config: config.Baseline()},
+			Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+}
+
+func TestResolveDefaults(t *testing.T) {
+	res := mustResolve(t, RunSpec{Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}})
+	c := res.Spec
+	if c.Version != Version {
+		t.Errorf("canonical version %d", c.Version)
+	}
+	if c.Machine == nil || c.Machine.Name != "baseline" || c.Machine.Config == nil {
+		t.Errorf("canonical machine %+v", c.Machine)
+	}
+	if c.Seed != 42 || c.WarmupCycles != 20_000 || c.MeasureCycles != 100_000 {
+		t.Errorf("canonical protocol %d/%d/%d", c.Seed, c.WarmupCycles, c.MeasureCycles)
+	}
+	if got := c.Policy.Params["warn"]; got != 1 {
+		t.Errorf("canonical dwarn params %v", c.Policy.Params)
+	}
+	if res.Options.Config == nil || res.Options.Workload.Name != "4-MIX" {
+		t.Errorf("options %+v", res.Options)
+	}
+	if res.Fingerprint == "" {
+		t.Error("empty fingerprint")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	specs := []RunSpec{
+		{Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		{Policy: Policy{Name: "stall", Params: map[string]int64{"threshold": 25}}, Workload: Workload{Solo: "mcf"}, Seed: 7},
+		{Machine: &Machine{Name: "deep"}, Policy: Policy{Name: "flush"}, Workload: Workload{Benchmarks: []string{"gzip", "mcf"}}},
+	}
+	for _, s := range specs {
+		first := mustResolve(t, s)
+		second := mustResolve(t, first.Spec)
+		if first.Fingerprint != second.Fingerprint {
+			t.Errorf("canonicalization not idempotent for %+v: %s vs %s", s, first.Fingerprint, second.Fingerprint)
+		}
+	}
+}
+
+// TestFingerprintEquivalences: specs that describe the same simulation
+// must share one identity, however they spell it.
+func TestFingerprintEquivalences(t *testing.T) {
+	base := mustResolve(t, RunSpec{Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}})
+
+	equivalent := map[string]RunSpec{
+		"explicit version":  {Version: 1, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"explicit machine":  {Machine: &Machine{Name: "baseline"}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"explicit defaults": {Policy: Policy{Name: "dwarn", Params: map[string]int64{"warn": 1}}, Workload: Workload{Name: "4-MIX"}, Seed: 42, WarmupCycles: 20_000, MeasureCycles: 100_000},
+		"noop override":     {Machine: &Machine{Name: "baseline", Overrides: []byte(`{"MemLatency": 100}`)}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"inline config":     {Machine: &Machine{Config: config.Baseline()}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+	}
+	for name, s := range equivalent {
+		if got := mustResolve(t, s).Fingerprint; got != base.Fingerprint {
+			t.Errorf("%s: fingerprint %s, want %s", name, got, base.Fingerprint)
+		}
+	}
+
+	distinct := map[string]RunSpec{
+		"warn=2":        {Policy: Policy{Name: "dwarn", Params: map[string]int64{"warn": 2}}, Workload: Workload{Name: "4-MIX"}},
+		"other policy":  {Policy: Policy{Name: "icount"}, Workload: Workload{Name: "4-MIX"}},
+		"other machine": {Machine: &Machine{Name: "deep"}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"real override": {Machine: &Machine{Name: "baseline", Overrides: []byte(`{"MemLatency": 200}`)}, Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}},
+		"other seed":    {Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}, Seed: 9},
+		"other cycles":  {Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}, MeasureCycles: 50_000},
+		"custom vs named": {Policy: Policy{Name: "dwarn"},
+			Workload: Workload{Benchmarks: []string{"gzip", "twolf", "bzip2", "mcf"}}},
+	}
+	seen := map[string]string{base.Fingerprint: "base"}
+	for name, s := range distinct {
+		got := mustResolve(t, s).Fingerprint
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s: fingerprint collides with %s", name, prev)
+		}
+		seen[got] = name
+	}
+
+	// Baselines is a metrics flag over the same simulation.
+	withBaselines := RunSpec{Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}, Baselines: true}
+	if got := mustResolve(t, withBaselines).Fingerprint; got != base.Fingerprint {
+		t.Error("baselines flag changed the fingerprint")
+	}
+}
+
+func TestSweepExpandDeterministic(t *testing.T) {
+	s := SweepSpec{
+		Machines: []Machine{{Name: "baseline"}, {Name: "deep"}},
+		Policies: []PolicyAxis{
+			{Name: "icount"},
+			{Name: "dwarn", Params: map[string][]int64{"warn": {1, 2, 4}}},
+		},
+		Workloads: []Workload{{Name: "2-MIX"}, {Name: "2-MEM"}},
+		Seeds:     []uint64{0, 7},
+	}
+	cells, err := s.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 4 * 2 * 2; len(cells) != want {
+		t.Fatalf("expanded to %d cells, want %d", len(cells), want)
+	}
+	// Machine-major, then policy, then workload, then seed.
+	if cells[0].Machine.Name != "baseline" || cells[len(cells)-1].Machine.Name != "deep" {
+		t.Errorf("machine order wrong: %s ... %s", cells[0].Machine.Name, cells[len(cells)-1].Machine.Name)
+	}
+	if id := cells[0].Policy.ID(); id != "icount" {
+		t.Errorf("first policy %s", id)
+	}
+	if id := cells[4].Policy.ID(); id != "dwarn" { // warn=1 is the default
+		t.Errorf("fifth policy %s", id)
+	}
+	if id := cells[8].Policy.ID(); id != "dwarn(warn=2)" {
+		t.Errorf("ninth policy %s", id)
+	}
+	if cells[0].Seed != 0 || cells[1].Seed != 7 {
+		t.Errorf("seed order %d, %d", cells[0].Seed, cells[1].Seed)
+	}
+
+	again, err := s.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		a := mustResolve(t, cells[i]).Fingerprint
+		b := mustResolve(t, again[i]).Fingerprint
+		if a != b {
+			t.Fatalf("cell %d not deterministic", i)
+		}
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	s := SweepSpec{Workloads: []Workload{{Name: "4-MIX"}}}
+	cells, err := s.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("default sweep has %d cells, want the 6 paper policies", len(cells))
+	}
+}
+
+func TestSweepExpandBounded(t *testing.T) {
+	s := SweepSpec{
+		Policies:  []PolicyAxis{{Name: "dwarn", Params: map[string][]int64{"warn": {1, 2, 3, 4}}}},
+		Workloads: []Workload{{Name: "2-MIX"}},
+	}
+	if _, err := s.Expand(3); !errors.Is(err, ErrTooManyCells) {
+		t.Fatalf("Expand(3) = %v, want ErrTooManyCells", err)
+	}
+	if cells, err := s.Expand(4); err != nil || len(cells) != 4 {
+		t.Fatalf("Expand(4) = %d cells, %v", len(cells), err)
+	}
+
+	huge := SweepSpec{
+		Seeds:     make([]uint64, 10_000),
+		Workloads: []Workload{{Name: "2-MIX"}},
+	}
+	if _, err := huge.Expand(0); !errors.Is(err, ErrTooManyCells) {
+		t.Fatalf("huge sweep: %v, want ErrTooManyCells", err)
+	}
+}
+
+func TestSweepExpandRejects(t *testing.T) {
+	cases := map[string]SweepSpec{
+		"no workloads":     {},
+		"unknown policy":   {Policies: []PolicyAxis{{Name: "nonesuch"}}, Workloads: []Workload{{Name: "2-MIX"}}},
+		"unknown param":    {Policies: []PolicyAxis{{Name: "dwarn", Params: map[string][]int64{"nope": {1}}}}, Workloads: []Workload{{Name: "2-MIX"}}},
+		"empty value list": {Policies: []PolicyAxis{{Name: "dwarn", Params: map[string][]int64{"warn": {}}}}, Workloads: []Workload{{Name: "2-MIX"}}},
+		"bad cell":         {Workloads: []Workload{{Name: "nonesuch"}}},
+		"bad version":      {Version: 2, Workloads: []Workload{{Name: "2-MIX"}}},
+	}
+	for name, s := range cases {
+		if _, err := s.Expand(0); err == nil {
+			t.Errorf("%s: Expand accepted %+v", name, s)
+		}
+	}
+}
+
+func TestLoadEnvelope(t *testing.T) {
+	f, err := Load(strings.NewReader(`{"run": {"policy": {"name": "dwarn"}, "workload": {"name": "4-MIX"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := f.Runs(0)
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("Runs = %d, %v", len(runs), err)
+	}
+
+	f, err = Load(strings.NewReader(`{"sweep": {"workloads": [{"name": "4-MIX"}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs, err = f.Runs(0); err != nil || len(runs) != 6 {
+		t.Fatalf("sweep Runs = %d, %v", len(runs), err)
+	}
+
+	for name, in := range map[string]string{
+		"empty":         `{}`,
+		"both":          `{"run": {"policy": {"name": "dwarn"}, "workload": {"name": "4-MIX"}}, "sweep": {"workloads": [{"name": "4-MIX"}]}}`,
+		"unknown field": `{"run": {"policy": {"name": "dwarn"}, "workload": {"name": "4-MIX"}}, "extra": 1}`,
+		"junk":          `not json`,
+	} {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load accepted %s", name, in)
+		}
+	}
+}
+
+func TestWorkloadID(t *testing.T) {
+	cases := map[string]Workload{
+		"4-MIX":           {Name: "4-MIX"},
+		"solo-gzip":       {Solo: "gzip"},
+		"custom:gzip+mcf": {Benchmarks: []string{"gzip", "mcf"}},
+		"trace:abcd":      {Trace: "abcd"},
+	}
+	for want, w := range cases {
+		if got := w.ID(); got != want {
+			t.Errorf("ID(%+v) = %q, want %q", w, got, want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"dwarn/internal/core"
+)
+
+// DefaultMaxCells bounds sweep expansion when the caller does not
+// choose a limit: large enough for the paper's full grid many times
+// over, small enough that a hostile spec cannot fan out unbounded work.
+const DefaultMaxCells = 4096
+
+// ErrTooManyCells reports a sweep whose cartesian product exceeds the
+// expansion limit. Servers map it to a 4xx.
+var ErrTooManyCells = errors.New("spec: sweep expands to too many cells")
+
+// PolicyAxis is one policy on a sweep's policy axis: a registry name
+// plus an optional parameter grid. Each parameter maps to the list of
+// values to sweep; the axis expands into the cartesian product over its
+// parameters (parameters in sorted name order, values in listed order).
+type PolicyAxis struct {
+	Name   string             `json:"name"`
+	Params map[string][]int64 `json:"params,omitempty"`
+}
+
+// expand returns the axis's policy references in deterministic order.
+func (a PolicyAxis) expand() ([]Policy, error) {
+	if _, err := core.CanonicalParams(a.Name, nil); err != nil {
+		return nil, err
+	}
+	if len(a.Params) == 0 {
+		return []Policy{{Name: a.Name}}, nil
+	}
+	keys := make([]string, 0, len(a.Params))
+	for k := range a.Params {
+		if len(a.Params[k]) == 0 {
+			return nil, fmt.Errorf("spec: policy %q parameter %q has an empty value list", a.Name, k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := []Policy{{Name: a.Name, Params: map[string]int64{}}}
+	for _, k := range keys {
+		next := make([]Policy, 0, len(out)*len(a.Params[k]))
+		for _, p := range out {
+			for _, v := range a.Params[k] {
+				params := make(map[string]int64, len(p.Params)+1)
+				for pk, pv := range p.Params {
+					params[pk] = pv
+				}
+				params[k] = v
+				next = append(next, Policy{Name: a.Name, Params: params})
+			}
+		}
+		out = next
+	}
+	// Validate each combination once here so Expand reports parameter
+	// errors against the axis, not against some expanded cell.
+	for _, p := range out {
+		if _, err := core.CanonicalParams(p.Name, p.Params); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SweepSpec is the declarative grid form: every axis is a list, and the
+// sweep is the cartesian product machines × policies (with their
+// parameter grids) × workloads × seeds. Zero-valued axes take the
+// paper's defaults (baseline machine, the six paper policies, one
+// default seed); workloads must be given.
+type SweepSpec struct {
+	// Version is the spec schema version; 0 means current.
+	Version int `json:"version,omitempty"`
+	// Machines defaults to [{name: "baseline"}].
+	Machines []Machine `json:"machines,omitempty"`
+	// Policies defaults to the six paper policies.
+	Policies []PolicyAxis `json:"policies,omitempty"`
+	// Workloads is the workload axis; required.
+	Workloads []Workload `json:"workloads,omitempty"`
+	// Seeds is the replication axis: one cell per seed (0 = the default
+	// seed). Defaults to a single default-seed replication.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// WarmupCycles and MeasureCycles apply to every cell (0 = defaults).
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+	// Baselines adds relative-IPC metrics to every cell.
+	Baselines bool `json:"baselines,omitempty"`
+}
+
+// Expand materializes the sweep into its RunSpec cells, deterministic
+// order: machine-major, then policy (axes in listed order, parameter
+// grids expanded within each), then workload, then seed. Every cell is
+// statically validated before any is returned. maxCells bounds the
+// product (<= 0 means DefaultMaxCells); exceeding it returns an error
+// wrapping ErrTooManyCells.
+func (s *SweepSpec) Expand(maxCells int) ([]RunSpec, error) {
+	if maxCells <= 0 {
+		maxCells = DefaultMaxCells
+	}
+	if s.Version != 0 && s.Version != Version {
+		return nil, fmt.Errorf("spec: unsupported spec version %d (current: %d)", s.Version, Version)
+	}
+
+	machines := s.Machines
+	if len(machines) == 0 {
+		machines = []Machine{{Name: "baseline"}}
+	}
+	axes := s.Policies
+	if len(axes) == 0 {
+		for _, p := range core.PaperPolicies() {
+			axes = append(axes, PolicyAxis{Name: p})
+		}
+	}
+	var policies []Policy
+	for _, a := range axes {
+		ps, err := a.expand()
+		if err != nil {
+			return nil, err
+		}
+		policies = append(policies, ps...)
+	}
+	if len(s.Workloads) == 0 {
+		return nil, fmt.Errorf("spec: sweep needs at least one workload")
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+
+	total := len(machines) * len(policies)
+	if total > maxCells || total*len(s.Workloads) > maxCells || total*len(s.Workloads)*len(seeds) > maxCells {
+		return nil, fmt.Errorf("%w: %d machines × %d policies × %d workloads × %d seeds exceeds the limit of %d cells",
+			ErrTooManyCells, len(machines), len(policies), len(s.Workloads), len(seeds), maxCells)
+	}
+
+	cells := make([]RunSpec, 0, total*len(s.Workloads)*len(seeds))
+	for i := range machines {
+		m := machines[i]
+		for _, p := range policies {
+			for _, w := range s.Workloads {
+				for _, seed := range seeds {
+					cell := RunSpec{
+						Machine:       &m,
+						Policy:        p,
+						Workload:      w,
+						Seed:          seed,
+						WarmupCycles:  s.WarmupCycles,
+						MeasureCycles: s.MeasureCycles,
+						Baselines:     s.Baselines,
+					}
+					if err := cell.Validate(); err != nil {
+						return nil, fmt.Errorf("spec: sweep cell %s/%s/%s: %w", machineID(&m), p.ID(), w.ID(), err)
+					}
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// machineID renders a machine's display identity for error messages.
+func machineID(m *Machine) string {
+	switch {
+	case m == nil || (m.Name == "" && m.Config == nil):
+		return "baseline"
+	case m.Name != "":
+		return m.Name
+	default:
+		return m.Config.Name
+	}
+}
+
+// File is the on-disk spec envelope: exactly one of Run or Sweep. It
+// exists so a single -spec flag can carry either shape unambiguously.
+type File struct {
+	Run   *RunSpec   `json:"run,omitempty"`
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+}
+
+// Load strictly decodes a spec file: unknown fields are errors, and
+// exactly one of "run" and "sweep" must be present.
+func Load(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: bad spec file: %w", err)
+	}
+	if (f.Run == nil) == (f.Sweep == nil) {
+		return nil, fmt.Errorf(`spec: spec file must set exactly one of "run" and "sweep"`)
+	}
+	return &f, nil
+}
+
+// LoadFile reads a spec envelope from a path.
+func LoadFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := Load(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Runs returns the file's cells: the single run, or the sweep expanded
+// under maxCells.
+func (f *File) Runs(maxCells int) ([]RunSpec, error) {
+	if f.Run != nil {
+		return []RunSpec{*f.Run}, nil
+	}
+	return f.Sweep.Expand(maxCells)
+}
