@@ -1,0 +1,26 @@
+# Developer entry points. Everything here is plain go tool invocations;
+# the Makefile just names the common ones.
+
+.PHONY: build test race bench bench-simcore alloc-guard
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full benchmark sweep, one iteration each (regression smoke).
+bench:
+	go test -bench=. -benchtime=1x ./...
+
+# Cycle-engine perf trajectory: runs BenchmarkSimulatorCycleRate and
+# records ns/cycle, uops/sec, and allocs/cycle to BENCH_simcore.json.
+bench-simcore:
+	sh scripts/bench_simcore.sh
+
+# Zero-allocation steady-state guard for the cycle engine.
+alloc-guard:
+	go test ./internal/sim -run TestStepZeroAllocSteadyState -v

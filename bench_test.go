@@ -103,9 +103,12 @@ func BenchmarkPolicyThroughput4MIX(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorCycleRate measures raw simulation speed
-// (cycles/second) per thread count, the number that bounds every
-// experiment above.
+// BenchmarkSimulatorCycleRate measures raw simulation speed per thread
+// count, the number that bounds every experiment above. Besides the
+// stock ns/op (= ns/cycle) it reports committed uops/sec and, with
+// -benchmem, allocations per cycle — the zero-alloc engine's headline
+// numbers. scripts/bench_simcore.sh records them to BENCH_simcore.json
+// so the perf trajectory is tracked across changes.
 func BenchmarkSimulatorCycleRate(b *testing.B) {
 	for _, wn := range []string{"2-MIX", "4-MIX", "8-MEM"} {
 		b.Run(wn, func(b *testing.B) {
@@ -116,10 +119,25 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 				b.Fatal(err)
 			}
 			cpu.Run(5000) // warm
+			committed := func() uint64 {
+				var sum uint64
+				for t := 0; t < cpu.NumThreads(); t++ {
+					sum += cpu.ThreadStats(t).Committed
+				}
+				return sum
+			}
+			before := committed()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cpu.Step()
 			}
+			b.StopTimer()
+			delta := float64(committed() - before)
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(delta/secs, "uops/sec")
+			}
+			b.ReportMetric(delta/float64(b.N), "uops/cycle")
 		})
 	}
 }

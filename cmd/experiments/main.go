@@ -25,6 +25,7 @@ import (
 
 	"dwarn/internal/exp"
 	"dwarn/internal/out"
+	"dwarn/internal/prof"
 	"dwarn/internal/spec"
 )
 
@@ -38,7 +39,14 @@ func main() {
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text tables")
 	)
+	profFlags := prof.Register()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	r := exp.NewRunner(exp.Config{
 		Seed:          *seed,

@@ -26,6 +26,7 @@ import (
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/out"
+	"dwarn/internal/prof"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
@@ -48,7 +49,14 @@ func main() {
 		maxCells  = flag.Int("max-cells", spec.DefaultMaxCells, "largest sweep expansion a -spec file may request")
 		listWork  = flag.Bool("list", false, "list workloads and benchmarks, then exit")
 	)
+	profFlags := prof.Register()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *specPath != "" {
 		runSpecFile(*specPath, *maxCells, *asJSON)

@@ -12,21 +12,35 @@
 package core
 
 import (
-	"sort"
-
 	"dwarn/internal/pipeline"
 )
 
-// icountLess orders thread IDs by ascending pre-issue instruction count
+// icountOrder orders thread IDs by ascending pre-issue instruction count
 // (the ICOUNT heuristic), breaking ties with a rotating offset so equal
-// threads share fetch slots fairly over time.
+// threads share fetch slots fairly over time. Keys are unique (the
+// rotation separates equal counts), so this insertion sort produces
+// exactly the order the previous sort.Slice did — without its per-call
+// closure and interface allocations, which dominated Priority on the
+// per-cycle path. Thread counts are at most 8.
 func icountOrder(cpu *pipeline.CPU, now int64, tids []int) {
 	n := cpu.NumThreads()
-	key := func(tid int) int {
-		rot := (tid + int(now)) % n
-		return cpu.PreIssueCount(tid)*16 + rot
+	var kbuf [16]int
+	keys := kbuf[:]
+	if n > len(kbuf) {
+		keys = make([]int, n)
 	}
-	sort.Slice(tids, func(i, j int) bool { return key(tids[i]) < key(tids[j]) })
+	for _, t := range tids {
+		keys[t] = cpu.PreIssueCount(t)*16 + (t+int(now))%n
+	}
+	for i := 1; i < len(tids); i++ {
+		t := tids[i]
+		k := keys[t]
+		j := i - 1
+		for ; j >= 0 && keys[tids[j]] > k; j-- {
+			tids[j+1] = tids[j]
+		}
+		tids[j+1] = t
+	}
 }
 
 // nopEvents provides no-op implementations of the event hooks so simple

@@ -36,6 +36,10 @@ type DWarn struct {
 	// gating counts declared-and-unreturned L2-missing loads per thread
 	// (only maintained when the hybrid gate is active).
 	gating []int
+	// dmissBuf and gatedBuf are per-cycle scratch for Priority's group
+	// split, sized once at Attach so classification never allocates.
+	dmissBuf []int
+	gatedBuf []int
 	// variant name: "DWarn" or "DWarn-Prio".
 	name string
 }
@@ -72,6 +76,8 @@ func (p *DWarn) Params() string { return fmt.Sprintf("hybrid=%v|warn=%d", p.hybr
 func (p *DWarn) Attach(cpu *pipeline.CPU) {
 	p.cpu = cpu
 	p.gating = make([]int, cpu.NumThreads())
+	p.dmissBuf = make([]int, 0, cpu.NumThreads())
+	p.gatedBuf = make([]int, 0, cpu.NumThreads())
 }
 
 // Reset implements pipeline.FetchPolicy.
@@ -118,7 +124,7 @@ func (p *DWarn) release(inst *pipeline.DynInst) {
 func (p *DWarn) Priority(now int64, dst []int) []int {
 	n := p.cpu.NumThreads()
 	normal := dst
-	var dmiss, gated []int
+	dmiss, gated := p.dmissBuf[:0], p.gatedBuf[:0]
 	for t := 0; t < n; t++ {
 		switch {
 		case p.gateActive() && p.gating[t] > 0:

@@ -35,12 +35,17 @@ type l2Detector struct {
 	blocking []int
 	// onDeclare is invoked once per declared load (FLUSH squashes here).
 	onDeclare func(inst *pipeline.DynInst, now int64)
+	// declareBuf and gatedBuf are reusable scratch for tick and
+	// priority, so the per-cycle path never allocates.
+	declareBuf []*pipeline.DynInst
+	gatedBuf   []int
 }
 
 func (d *l2Detector) attach(cpu *pipeline.CPU) {
 	d.cpu = cpu
 	d.tracked = make([][]trackedLoad, cpu.NumThreads())
 	d.blocking = make([]int, cpu.NumThreads())
+	d.gatedBuf = make([]int, 0, cpu.NumThreads())
 }
 
 func (d *l2Detector) reset() {
@@ -74,7 +79,7 @@ func (d *l2Detector) onLoadAccess(inst *pipeline.DynInst, now int64) {
 // otherwise invalidate the iteration.
 func (d *l2Detector) tick(now int64) {
 	for t := range d.tracked {
-		var declare []*pipeline.DynInst
+		declare := d.declareBuf[:0]
 		for i := range d.tracked[t] {
 			tl := &d.tracked[t][i]
 			if tl.declared || now-tl.accessAt < d.threshold {
@@ -91,6 +96,7 @@ func (d *l2Detector) tick(now int64) {
 				d.onDeclare(inst, now)
 			}
 		}
+		d.declareBuf = declare[:0]
 	}
 }
 
@@ -117,7 +123,7 @@ func (d *l2Detector) drop(inst *pipeline.DynInst) {
 // always keeps one thread running).
 func (d *l2Detector) priority(now int64, dst []int) []int {
 	free := dst
-	var gated []int
+	gated := d.gatedBuf[:0]
 	for t := 0; t < d.cpu.NumThreads(); t++ {
 		if d.blocking[t] > 0 {
 			gated = append(gated, t)

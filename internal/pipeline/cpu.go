@@ -1,8 +1,9 @@
 package pipeline
 
 import (
-	"container/heap"
+	"cmp"
 	"fmt"
+	"slices"
 
 	"dwarn/internal/bpred"
 	"dwarn/internal/config"
@@ -15,6 +16,17 @@ import (
 type CPUStats struct {
 	Cycles int64
 }
+
+// regBitset tracks physical-register ready bits, one bit per register.
+// The hot regReady/setRegReady paths touch a handful of cache lines
+// instead of a 384-entry []bool.
+type regBitset []uint64
+
+func newRegBitset(n int) regBitset { return make(regBitset, (n+63)/64) }
+
+func (b regBitset) get(p int32) bool { return b[p>>6]&(1<<(uint32(p)&63)) != 0 }
+func (b regBitset) set(p int32)      { b[p>>6] |= 1 << (uint32(p) & 63) }
+func (b regBitset) clear(p int32)    { b[p>>6] &^= 1 << (uint32(p) & 63) }
 
 // CPU is one simulated SMT core running a fixed set of threads under a
 // fetch policy. It is not safe for concurrent use; run one CPU per
@@ -29,22 +41,22 @@ type CPU struct {
 
 	now    int64
 	ageCtr uint64
-	evSeq  uint64
-	events eventHeap
+	events eventQueue
+	arena  instArena
 
-	// Shared physical register files: free lists and ready bits.
+	// Shared physical register files: free lists and ready bitsets.
 	intFree  []int32
 	fpFree   []int32
-	intReady []bool
-	fpReady  []bool
+	intReady regBitset
+	fpReady  regBitset
 
 	// Shared issue queues.
 	queues [isa.NumQueues][]*DynInst
 	qCap   [isa.NumQueues]int
 
 	// Scratch buffers reused across cycles.
-	prioBuf  []int
-	readyBuf []*DynInst
+	prioBuf   []int
+	replayBuf []isa.Uop
 
 	// dispatchOrder is the front-end thread order for this cycle: the
 	// policy's fetch priority with any omitted (gated) threads at the
@@ -58,6 +70,21 @@ type CPU struct {
 
 	// Stats for the current measurement interval.
 	Stats CPUStats
+}
+
+// eventHorizon bounds how far ahead of now any event can be scheduled:
+// the worst-case load (DTLB miss, L1 miss, L2 miss) plus slack for the
+// address-generation cycle and the longest execution latencies. The
+// calendar queue's ring is sized from it so overflow stays empty.
+func eventHorizon(cfg *config.Processor) int64 {
+	h := int64(cfg.TLBMissPenalty) + int64(cfg.DCache.HitLatency) +
+		int64(cfg.L1ToL2Latency) + int64(cfg.MemLatency)
+	if l := int64(cfg.FPLatency); l > int64(cfg.IntMulLatency) {
+		h += l
+	} else {
+		h += int64(cfg.IntMulLatency)
+	}
+	return h + 8
 }
 
 // New builds a CPU running one thread per uop source under the given
@@ -82,26 +109,27 @@ func New(cfg *config.Processor, policy FetchPolicy, srcs []workload.Source) (*CP
 		bp:     bpred.New(cfg.Bpred, n),
 		now:    1,
 	}
+	c.events.init(eventHorizon(cfg), c.now)
 	c.qCap[isa.QInt] = cfg.IntQueueSize
 	c.qCap[isa.QFP] = cfg.FPQueueSize
 	c.qCap[isa.QLS] = cfg.LSQueueSize
 
 	// Physical registers: each running context permanently holds its 32
 	// architectural mappings; the remainder forms the shared rename pool.
-	c.intReady = make([]bool, cfg.PhysIntRegs)
-	c.fpReady = make([]bool, cfg.PhysFPRegs)
+	c.intReady = newRegBitset(cfg.PhysIntRegs)
+	c.fpReady = newRegBitset(cfg.PhysFPRegs)
 	c.threads = make([]*thread, n)
 	for i, src := range srcs {
 		t := &thread{id: i, src: src}
 		for a := 0; a < isa.NumIntRegs; a++ {
 			p := int32(i*isa.NumIntRegs + a)
 			t.intMap[a] = p
-			c.intReady[p] = true
+			c.intReady.set(p)
 		}
 		for a := 0; a < isa.NumFPRegs; a++ {
 			p := int32(i*isa.NumFPRegs + a)
 			t.fpMap[a] = p
-			c.fpReady[p] = true
+			c.fpReady.set(p)
 		}
 		c.threads[i] = t
 	}
@@ -138,7 +166,7 @@ func (c *CPU) Now() int64 { return c.now }
 // front end and issue queues — the ICOUNT priority input.
 func (c *CPU) PreIssueCount(t int) int {
 	th := c.threads[t]
-	return len(th.feq) + th.inQueues
+	return th.feq.len() + th.inQueues
 }
 
 // L1DMissInFlight returns thread t's outstanding L1 data-miss count —
@@ -147,7 +175,7 @@ func (c *CPU) L1DMissInFlight(t int) int { return c.threads[t].l1MissInFlight }
 
 // ROBOccupancy returns the number of in-flight instructions in thread
 // t's reorder buffer.
-func (c *CPU) ROBOccupancy(t int) int { return len(c.threads[t].rob) }
+func (c *CPU) ROBOccupancy(t int) int { return c.threads[t].rob.len() }
 
 // ThreadStats returns a copy of thread t's counters for the current
 // measurement interval.
@@ -169,8 +197,7 @@ func (c *CPU) ResetStats() {
 }
 
 func (c *CPU) schedule(at int64, kind evKind, inst *DynInst) {
-	c.evSeq++
-	heap.Push(&c.events, event{at: at, seq: c.evSeq, kind: kind, inst: inst})
+	c.events.schedule(at, kind, inst)
 }
 
 // allocReg pops a free physical register for the given space, returning
@@ -219,9 +246,9 @@ func (c *CPU) regReady(fp bool, p int32) bool {
 		return true
 	}
 	if fp {
-		return c.fpReady[p]
+		return c.fpReady.get(p)
 	}
-	return c.intReady[p]
+	return c.intReady.get(p)
 }
 
 func (c *CPU) setRegReady(fp bool, p int32) {
@@ -229,9 +256,9 @@ func (c *CPU) setRegReady(fp bool, p int32) {
 		return
 	}
 	if fp {
-		c.fpReady[p] = true
+		c.fpReady.set(p)
 	} else {
-		c.intReady[p] = true
+		c.intReady.set(p)
 	}
 }
 
@@ -253,22 +280,34 @@ func (c *CPU) FlushAfter(inst *DynInst) int {
 // pipeline. When replay is true (policy flush) the squashed correct-path
 // uops are queued for re-fetch in program order; when false (branch
 // misprediction) they are dropped. Returns the number squashed.
+//
+// Squashed instructions are recycled into the arena immediately: their
+// pending events are invalidated by the generation bump, and the lazy
+// issue-queue references are compacted away in this same cycle's issue
+// phase (squashes only happen in the event/tick phases), before fetch
+// can reuse the instruction.
 func (c *CPU) squashYounger(t *thread, age uint64, replay bool) int {
 	wasWP := t.wrongPath
 	// A peeked-but-unfetched uop must not leak: push a correct-path one
-	// back onto the replay queue (it is younger than everything being
-	// squashed, so it belongs behind them), drop a wrong-path one.
+	// back onto the replay stack (it is younger than everything being
+	// squashed, so it is re-fetched after them), drop a wrong-path one.
 	t.dropPeek(wasWP)
 
 	count := 0
-	var oldestBranch *DynInst
-	var replayBuf []isa.Uop
+	// The oldest squashed correct-path branch decides the predictor
+	// restore point. Its checkpoint is copied out because the DynInst is
+	// recycled before the walk finishes.
+	var oldestBranchAge uint64
+	var oldestBranchPred bpred.Prediction
+	haveBranch := false
+	pendingSquashed := false
+	replayBuf := c.replayBuf[:0]
 
 	note := func(d *DynInst) {
 		count++
 		if d.U.Class.IsBranch() && !d.U.WrongPath {
-			if oldestBranch == nil || d.Age < oldestBranch.Age {
-				oldestBranch = d
+			if !haveBranch || d.Age < oldestBranchAge {
+				oldestBranchAge, oldestBranchPred, haveBranch = d.Age, d.Pred, true
 			}
 		}
 		if d.U.Class == isa.Load {
@@ -279,54 +318,61 @@ func (c *CPU) squashYounger(t *thread, age uint64, replay bool) int {
 		if replay && !d.U.WrongPath {
 			replayBuf = append(replayBuf, d.U)
 		}
+		if d == t.pendingBranch {
+			pendingSquashed = true
+		}
+		c.arena.put(d)
 	}
 
 	// Front-end queue first (all entries are younger than any dispatched
 	// instruction, but guard on age anyway); keep survivors in order.
-	if len(t.feq) > 0 {
-		kept := t.feq[:0]
-		for _, d := range t.feq {
+	if n := t.feq.len(); n > 0 {
+		kept := 0
+		for i := 0; i < n; i++ {
+			d := t.feq.at(i)
 			if d.Age > age {
 				d.state = stSquashed
 				note(d)
 			} else {
-				kept = append(kept, d)
+				t.feq.buf[t.feq.head+kept] = d
+				kept++
 			}
 		}
-		t.feq = kept
+		t.feq.truncate(kept)
 	}
 
 	// ROB tail walk: undo renaming youngest-first so the map ends up at
 	// its pre-squash state.
-	cut := len(t.rob)
-	for cut > 0 && t.rob[cut-1].Age > age {
-		d := t.rob[cut-1]
+	cut := t.rob.len()
+	for cut > 0 && t.rob.at(cut-1).Age > age {
+		d := t.rob.at(cut - 1)
 		cut--
 		c.squashInFlight(t, d)
 		note(d)
 	}
-	t.rob = t.rob[:cut]
+	t.rob.truncate(cut)
 
-	// Replay queue order: squashed uops are older than whatever was
-	// already queued (including the peeked uop pushed above), so they go
-	// in front. Correct-path uops of one thread have strictly increasing
-	// Seq, which is exactly program order.
+	// Replay order: squashed uops are older than whatever was already
+	// on the stack (including the peeked uop pushed above), so they are
+	// fetched first — pushed last, youngest-to-oldest. Correct-path uops
+	// of one thread have strictly increasing Seq, which is exactly
+	// program order.
 	if replay && len(replayBuf) > 0 {
 		sortUopsBySeq(replayBuf)
-		ordered := make([]isa.Uop, 0, len(replayBuf)+len(t.replay))
-		ordered = append(ordered, replayBuf...)
-		ordered = append(ordered, t.replay...)
-		t.replay = ordered
+		for i := len(replayBuf) - 1; i >= 0; i-- {
+			t.replay = append(t.replay, replayBuf[i])
+		}
 	}
+	c.replayBuf = replayBuf[:0]
 
 	// Restore speculative predictor state to the oldest squashed branch.
-	if oldestBranch != nil {
-		c.bp.Restore(t.id, oldestBranch.Pred.Before)
+	if haveBranch {
+		c.bp.Restore(t.id, oldestBranchPred.Before)
 	}
 
 	// If the unresolved mispredicted branch died, leave wrong-path mode:
-	// fetch resumes from the replay queue / generator.
-	if t.pendingBranch != nil && t.pendingBranch.Age > age {
+	// fetch resumes from the replay stack / generator.
+	if pendingSquashed {
 		t.pendingBranch = nil
 		t.wrongPath = false
 	}
@@ -346,7 +392,7 @@ func (c *CPU) squashInFlight(t *thread, d *DynInst) {
 		d.missCounted = false
 	}
 	if d.destPhys >= 0 {
-		fp := usesFPRegs(d.U.Class)
+		fp := d.fpRegs
 		// Restore the previous mapping and recycle the register.
 		arch := d.U.Dest
 		if fp {
@@ -360,10 +406,21 @@ func (c *CPU) squashInFlight(t *thread, d *DynInst) {
 	d.state = stSquashed
 }
 
+// seqSortCutoff is the batch size above which sortUopsBySeq switches
+// from insertion sort to the library sort: full-ROB FLUSH squashes on
+// 8-thread MEM workloads hand it hundreds of uops, where insertion
+// sort's O(n²) worst case dominated squash cost.
+const seqSortCutoff = 32
+
 // sortUopsBySeq sorts by dynamic sequence number (program order for
-// correct-path uops of a single thread). Insertion sort: squash batches
-// are small and mostly ordered.
+// correct-path uops of a single thread). Small, mostly-ordered batches
+// use insertion sort; large flush batches fall back to slices.SortFunc.
+// Seq values are unique within a batch, so both produce the same order.
 func sortUopsBySeq(us []isa.Uop) {
+	if len(us) > seqSortCutoff {
+		slices.SortFunc(us, func(a, b isa.Uop) int { return cmp.Compare(a.Seq, b.Seq) })
+		return
+	}
 	for i := 1; i < len(us); i++ {
 		for j := i; j > 0 && us[j].Seq < us[j-1].Seq; j-- {
 			us[j], us[j-1] = us[j-1], us[j]
@@ -376,17 +433,17 @@ func sortUopsBySeq(us []isa.Uop) {
 func (c *CPU) DumpState() string {
 	s := fmt.Sprintf("cycle %d: freeInt=%d freeFP=%d q[int]=%d q[fp]=%d q[ls]=%d events=%d\n",
 		c.now, len(c.intFree), len(c.fpFree),
-		len(c.queues[0]), len(c.queues[1]), len(c.queues[2]), len(c.events))
+		len(c.queues[0]), len(c.queues[1]), len(c.queues[2]), c.events.len())
 	for _, t := range c.threads {
 		s += fmt.Sprintf("  t%d: feq=%d rob=%d inQ=%d missInFlight=%d wrongPath=%v replay=%d icacheReadyAt=%d redirectAt=%d\n",
-			t.id, len(t.feq), len(t.rob), t.inQueues, t.l1MissInFlight, t.wrongPath, len(t.replay), t.icacheReadyAt, t.redirectAt)
-		if len(t.rob) > 0 {
-			d := t.rob[0]
+			t.id, t.feq.len(), t.rob.len(), t.inQueues, t.l1MissInFlight, t.wrongPath, len(t.replay), t.icacheReadyAt, t.redirectAt)
+		if t.rob.len() > 0 {
+			d := t.rob.front()
 			s += fmt.Sprintf("      robHead: class=%v state=%d age=%d seq=%d wp=%v completeAt=%d pc=%x\n",
 				d.U.Class, d.state, d.Age, d.U.Seq, d.U.WrongPath, d.completeAt, d.U.PC)
 		}
-		if len(t.feq) > 0 {
-			d := t.feq[0]
+		if t.feq.len() > 0 {
+			d := t.feq.front()
 			s += fmt.Sprintf("      feqHead: class=%v state=%d age=%d readyAt=%d\n", d.U.Class, d.state, d.Age, d.frontEndReadyAt)
 		}
 	}
@@ -424,7 +481,8 @@ func (c *CPU) CheckInvariants() error {
 				return err
 			}
 		}
-		for _, d := range t.rob {
+		for i := 0; i < t.rob.len(); i++ {
+			d := t.rob.at(i)
 			if d.destPhys < 0 {
 				continue
 			}
@@ -456,14 +514,18 @@ func (c *CPU) CheckInvariants() error {
 	}
 
 	// Issue queues: per-thread inQueues must match the queue contents,
-	// and no queue may exceed its capacity.
+	// no queue may exceed its capacity, and every queue must be
+	// age-sorted (issue's oldest-first merge depends on it).
 	inQ := make([]int, len(c.threads))
 	for q := range c.queues {
 		live := 0
-		for _, d := range c.queues[q] {
+		for i, d := range c.queues[q] {
 			if d.state == stInQueue {
 				inQ[d.Thread]++
 				live++
+			}
+			if i > 0 && d.Age <= c.queues[q][i-1].Age {
+				return fmt.Errorf("pipeline: queue %d not age-sorted at %d", q, i)
 			}
 		}
 		if live > c.qCap[q] {
@@ -477,18 +539,18 @@ func (c *CPU) CheckInvariants() error {
 		if t.l1MissInFlight < 0 {
 			return fmt.Errorf("pipeline: t%d negative miss counter %d", t.id, t.l1MissInFlight)
 		}
-		if len(t.rob) > c.cfg.ROBSizePerThread {
-			return fmt.Errorf("pipeline: t%d ROB %d exceeds %d", t.id, len(t.rob), c.cfg.ROBSizePerThread)
+		if t.rob.len() > c.cfg.ROBSizePerThread {
+			return fmt.Errorf("pipeline: t%d ROB %d exceeds %d", t.id, t.rob.len(), c.cfg.ROBSizePerThread)
 		}
 		// ROB must be in age order with no squashed entries.
-		for i := 1; i < len(t.rob); i++ {
-			if t.rob[i].Age <= t.rob[i-1].Age {
+		for i := 1; i < t.rob.len(); i++ {
+			if t.rob.at(i).Age <= t.rob.at(i-1).Age {
 				return fmt.Errorf("pipeline: t%d ROB out of order at %d", t.id, i)
 			}
 		}
-		for _, d := range t.rob {
-			if d.state == stSquashed || d.state == stCommitted {
-				return fmt.Errorf("pipeline: t%d ROB holds %v entry", t.id, d.state)
+		for i := 0; i < t.rob.len(); i++ {
+			if st := t.rob.at(i).state; st == stSquashed || st == stCommitted {
+				return fmt.Errorf("pipeline: t%d ROB holds %v entry", t.id, st)
 			}
 		}
 	}

@@ -1,0 +1,121 @@
+package pipeline
+
+// event kinds, processed at the top of each cycle.
+type evKind uint8
+
+const (
+	// evComplete: the instruction's result is available (ALU latency
+	// elapsed, load data arrived, store left the AGU).
+	evComplete evKind = iota
+	// evLoadAccess: the load's D-cache access happens now; policies are
+	// told about L1/TLB outcomes.
+	evLoadAccess
+	// evL2Miss: the L2 tag check failed now (true L2-miss detection,
+	// used by DWarn's hybrid gate).
+	evL2Miss
+	// evLoadReturning: the 2-cycle advance indication that load data is
+	// coming back (used by STALL/FLUSH/DWarn to release gates early).
+	evLoadReturning
+	// evBranchResolve: the branch executes now; mispredictions squash.
+	evBranchResolve
+)
+
+type event struct {
+	at   int64
+	kind evKind
+	// gen snapshots inst.gen at schedule time. The arena bumps gen when
+	// an instruction is recycled, so a stale event for a squashed (and
+	// possibly reused) DynInst is detected by a mismatch and skipped.
+	gen  uint32
+	inst *DynInst
+}
+
+// eventQueue is a calendar queue: a ring of per-cycle buckets covering
+// the window (now, now+horizon], plus a rarely-used overflow list for
+// events beyond it. Event latencies are bounded by the memory system
+// (TLB-miss penalty + L1→L2 + main memory), so with a horizon sized
+// from the machine configuration every event lands in a bucket and
+// scheduling/draining is O(1) with zero steady-state allocations —
+// unlike the container/heap it replaces, which boxed one allocation
+// into an interface{} per Push and per Pop.
+//
+// Determinism: the previous heap ordered events by (at, seq) where seq
+// was the global schedule order. Buckets are append-only and drained
+// front to back, and overflow events migrate into a bucket before any
+// later-scheduled event can target that cycle, so within a bucket
+// events sit in exactly that schedule order. The processing order is
+// bit-identical to the heap's.
+type eventQueue struct {
+	buckets [][]event
+	mask    int64
+	// now is the last drained cycle: buckets cover (now, now+H].
+	now   int64
+	count int
+	// overflow holds events beyond the horizon in schedule order. Empty
+	// for every stock machine configuration; custom configs with longer
+	// latencies than the sized horizon fall back to it for correctness.
+	overflow []event
+}
+
+// init sizes the ring to cover horizon cycles of look-ahead and primes
+// the window to start at cycle start.
+func (q *eventQueue) init(horizon, start int64) {
+	size := int64(64)
+	for size < horizon {
+		size <<= 1
+	}
+	q.buckets = make([][]event, size)
+	q.mask = size - 1
+	q.now = start - 1
+}
+
+// schedule enqueues an event for cycle at. Events scheduled for the
+// current cycle or earlier fire next cycle, matching the heap's
+// behaviour (the pipeline drains cycle N's events before any phase of
+// cycle N can schedule).
+func (q *eventQueue) schedule(at int64, kind evKind, inst *DynInst) {
+	if at <= q.now {
+		at = q.now + 1
+	}
+	ev := event{at: at, kind: kind, gen: inst.gen, inst: inst}
+	q.count++
+	if at-q.now <= int64(len(q.buckets)) {
+		idx := at & q.mask
+		q.buckets[idx] = append(q.buckets[idx], ev)
+		return
+	}
+	q.overflow = append(q.overflow, ev)
+}
+
+// bucketFor returns the bucket holding cycle now's events. The caller
+// must drain it fully, then call advance(now) exactly once.
+func (q *eventQueue) bucketFor(now int64) []event {
+	return q.buckets[now&q.mask]
+}
+
+// advance consumes cycle now: clears its bucket (whose slot becomes
+// cycle now+H) and migrates any overflow events that just entered the
+// window into their buckets, preserving schedule order.
+func (q *eventQueue) advance(now int64) {
+	idx := now & q.mask
+	q.count -= len(q.buckets[idx])
+	q.buckets[idx] = q.buckets[idx][:0]
+	q.now = now
+	if len(q.overflow) == 0 {
+		return
+	}
+	h := int64(len(q.buckets))
+	kept := q.overflow[:0]
+	for _, ev := range q.overflow {
+		if ev.at-now <= h {
+			i := ev.at & q.mask
+			q.buckets[i] = append(q.buckets[i], ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	q.overflow = kept
+}
+
+// len returns the number of pending events.
+func (q *eventQueue) len() int { return q.count }

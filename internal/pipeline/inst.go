@@ -29,7 +29,10 @@ const (
 	stSquashed
 )
 
-// DynInst is one in-flight dynamic instruction.
+// DynInst is one in-flight dynamic instruction. Instances are pooled in
+// a per-CPU arena and recycled at retire/squash; the pipeline and the
+// policies must drop every reference by then (squash fires OnSquash,
+// completion fires OnLoadReturn, so they do).
 type DynInst struct {
 	U      isa.Uop
 	Thread int
@@ -38,6 +41,16 @@ type DynInst struct {
 	Age uint64
 
 	state instState
+
+	// fpRegs caches U.Class.UsesFP() — which register space the
+	// operands live in — so the per-cycle issue/complete/retire paths
+	// avoid re-deriving it from the class.
+	fpRegs bool
+
+	// gen is the arena recycling generation. Scheduled events snapshot
+	// it; after the instruction is recycled the snapshot no longer
+	// matches and the stale event is discarded.
+	gen uint32
 
 	// Rename state: physical register indices, -1 when absent.
 	destPhys int32
@@ -80,51 +93,41 @@ func (d *DynInst) Done() bool { return d.state >= stDone }
 // available; valid once issued.
 func (d *DynInst) CompleteAt() int64 { return d.completeAt }
 
-// event kinds, processed at the top of each cycle.
-type evKind uint8
+// arenaSlab is how many DynInsts one arena growth step allocates.
+const arenaSlab = 256
 
-const (
-	// evComplete: the instruction's result is available (ALU latency
-	// elapsed, load data arrived, store left the AGU).
-	evComplete evKind = iota
-	// evLoadAccess: the load's D-cache access happens now; policies are
-	// told about L1/TLB outcomes.
-	evLoadAccess
-	// evL2Miss: the L2 tag check failed now (true L2-miss detection,
-	// used by DWarn's hybrid gate).
-	evL2Miss
-	// evLoadReturning: the 2-cycle advance indication that load data is
-	// coming back (used by STALL/FLUSH/DWarn to release gates early).
-	evLoadReturning
-	// evBranchResolve: the branch executes now; mispredictions squash.
-	evBranchResolve
-)
-
-type event struct {
-	at   int64
-	seq  uint64
-	kind evKind
-	inst *DynInst
+// instArena recycles DynInsts through a free list backed by slab
+// allocation, so steady-state fetch performs no heap allocations (the
+// pool stops growing once it covers the peak number of simultaneously
+// live instructions). Freeing bumps the generation counter — it must
+// only happen once every pipeline structure has (or is about to drop)
+// its reference; see retire and squashYounger.
+type instArena struct {
+	free []*DynInst
 }
 
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// get returns a zeroed instruction carrying its recycling generation.
+func (a *instArena) get() *DynInst {
+	if n := len(a.free); n > 0 {
+		d := a.free[n-1]
+		a.free = a.free[:n-1]
+		gen := d.gen
+		*d = DynInst{gen: gen}
+		return d
 	}
-	return h[i].seq < h[j].seq
+	slab := make([]DynInst, arenaSlab)
+	for i := 1; i < len(slab); i++ {
+		a.free = append(a.free, &slab[i])
+	}
+	return &slab[0]
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// put recycles an instruction. The generation bump invalidates every
+// event scheduled against it; the fields are deliberately left intact
+// (reset happens in get) so in-flight squash bookkeeping that still
+// inspects state this cycle — e.g. FLUSH's declare batch checking
+// Squashed() — sees the truth until the instruction is reused.
+func (a *instArena) put(d *DynInst) {
+	d.gen++
+	a.free = append(a.free, d)
 }

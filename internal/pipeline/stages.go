@@ -1,9 +1,7 @@
 package pipeline
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"dwarn/internal/isa"
 )
@@ -42,12 +40,16 @@ func (c *CPU) Run(n int64) {
 	}
 }
 
-// processEvents applies all events scheduled for cycle now.
+// processEvents applies all events scheduled for cycle now, in schedule
+// order (the calendar bucket preserves it). An event whose generation
+// no longer matches its instruction's is stale — the instruction was
+// squashed and recycled — and is dropped.
 func (c *CPU) processEvents(now int64) {
-	for len(c.events) > 0 && c.events[0].at <= now {
-		ev := heap.Pop(&c.events).(event)
+	bucket := c.events.bucketFor(now)
+	for i := 0; i < len(bucket); i++ {
+		ev := bucket[i]
 		d := ev.inst
-		if d.state == stSquashed {
+		if ev.gen != d.gen || d.state == stSquashed {
 			continue
 		}
 		switch ev.kind {
@@ -63,12 +65,13 @@ func (c *CPU) processEvents(now int64) {
 			c.resolveBranch(d, now)
 		}
 	}
+	c.events.advance(now)
 }
 
 // complete marks an instruction's result available and wakes dependents.
 func (c *CPU) complete(d *DynInst, now int64) {
 	d.state = stDone
-	c.setRegReady(usesFPRegs(d.U.Class), d.destPhys)
+	c.setRegReady(d.fpRegs, d.destPhys)
 	if d.U.Class == isa.Load {
 		t := c.threads[d.Thread]
 		if d.missCounted {
@@ -81,9 +84,9 @@ func (c *CPU) complete(d *DynInst, now int64) {
 	}
 }
 
-// loadAccess fires when a load's D-cache tag check resolves: the L1 and
-// TLB outcomes become architecturally visible and the miss counters the
-// policies watch are updated.
+// loadAccess fires when a load's D-cache access resolves its tag check:
+// the L1 and TLB outcomes become architecturally visible and the miss
+// counters the policies watch are updated.
 func (c *CPU) loadAccess(d *DynInst, now int64) {
 	if d.MemRes.SawMiss() {
 		t := c.threads[d.Thread]
@@ -124,23 +127,28 @@ func (c *CPU) commit(now int64) {
 	start := int(now) % n
 	for i := 0; i < n && budget > 0; i++ {
 		t := c.threads[(start+i)%n]
-		for budget > 0 && len(t.rob) > 0 {
-			d := t.rob[0]
+		for budget > 0 && t.rob.len() > 0 {
+			d := t.rob.front()
 			if d.state != stDone {
 				break
 			}
 			c.retire(t, d)
-			t.rob = t.rob[1:]
+			t.rob.popFront()
 			budget--
 			c.lastCommitAt = now
 		}
 	}
 }
 
+// retire commits one instruction and recycles it. By commit time every
+// event for the instruction has fired (all are scheduled at or before
+// completeAt, and completion is what makes it committable) and its lazy
+// issue-queue reference was compacted no later than this cycle's issue
+// phase runs — so the arena may hand it back to fetch immediately.
 func (c *CPU) retire(t *thread, d *DynInst) {
 	d.state = stCommitted
 	if d.destPhys >= 0 && d.prevPhys >= 0 {
-		c.freeReg(usesFPRegs(d.U.Class), d.prevPhys)
+		c.freeReg(d.fpRegs, d.prevPhys)
 	}
 	t.stats.Committed++
 	if d.U.Class == isa.Load {
@@ -152,14 +160,25 @@ func (c *CPU) retire(t *thread, d *DynInst) {
 			}
 		}
 	}
+	c.arena.put(d)
 }
 
 // issue selects ready instructions oldest-first across the shared
 // queues, bounded by issue width and per-class functional unit counts.
+//
+// The queues are kept age-sorted (dispatch inserts in order, compaction
+// is stable), so selection is a three-way merge that visits entries in
+// global age order and stops as soon as the issue budget or all units
+// are spent — no per-cycle sort, no ready checks beyond the selection
+// frontier, and no allocations. Readiness cannot change during the
+// phase (completions only land in processEvents), so skipping an
+// unready entry for the rest of the cycle is sound. The issued set is
+// identical to the old gather-sort-scan: both consider ready entries
+// oldest-first and skip classes whose units are exhausted.
 func (c *CPU) issue(now int64) {
-	// Compact queues (reclaiming slots of squashed and issued entries)
-	// and gather ready candidates.
-	ready := c.readyBuf[:0]
+	// Compact queues, reclaiming the slots of squashed and issued
+	// entries so this cycle's dispatch sees true occupancy.
+	total := 0
 	for q := range c.queues {
 		kept := c.queues[q][:0]
 		for _, d := range c.queues[q] {
@@ -169,18 +188,11 @@ func (c *CPU) issue(now int64) {
 			kept = append(kept, d)
 		}
 		c.queues[q] = kept
-		for _, d := range kept {
-			fp := usesFPRegs(d.U.Class)
-			if c.regReady(fp, d.src1Phys) && c.regReady(fp, d.src2Phys) {
-				ready = append(ready, d)
-			}
-		}
+		total += len(kept)
 	}
-	c.readyBuf = ready[:0]
-	if len(ready) == 0 {
+	if total == 0 {
 		return
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i].Age < ready[j].Age })
 
 	budget := c.cfg.IssueWidth
 	units := [isa.NumQueues]int{
@@ -188,17 +200,36 @@ func (c *CPU) issue(now int64) {
 		isa.QFP:  c.cfg.FPUnits,
 		isa.QLS:  c.cfg.LSUnits,
 	}
-	for _, d := range ready {
-		if budget == 0 {
-			break
+	var idx [isa.NumQueues]int
+	for budget > 0 {
+		best := -1
+		var bestAge uint64
+		for q := range c.queues {
+			if units[q] == 0 {
+				continue
+			}
+			qs := c.queues[q]
+			i := idx[q]
+			for i < len(qs) {
+				d := qs[i]
+				if c.regReady(d.fpRegs, d.src1Phys) && c.regReady(d.fpRegs, d.src2Phys) {
+					break
+				}
+				i++
+			}
+			idx[q] = i
+			if i < len(qs) && (best < 0 || qs[i].Age < bestAge) {
+				best = q
+				bestAge = qs[i].Age
+			}
 		}
-		q := d.U.Class.QueueFor()
-		if units[q] == 0 {
-			continue
+		if best < 0 {
+			return
 		}
-		units[q]--
+		c.issueOne(c.queues[best][idx[best]], now)
+		idx[best]++
+		units[best]--
 		budget--
-		c.issueOne(d, now)
 	}
 }
 
@@ -281,21 +312,21 @@ func (c *CPU) dispatch(now int64) {
 // instruction; it reports whether one was dispatched. In-order: the
 // first blocked instruction stalls the thread.
 func (c *CPU) dispatchOne(t *thread, now int64) bool {
-	if len(t.feq) == 0 {
+	if t.feq.len() == 0 {
 		return false
 	}
-	d := t.feq[0]
+	d := t.feq.front()
 	if d.frontEndReadyAt > now {
 		return false
 	}
-	if len(t.rob) >= c.cfg.ROBSizePerThread {
+	if t.rob.len() >= c.cfg.ROBSizePerThread {
 		return false
 	}
 	q := d.U.Class.QueueFor()
 	if len(c.queues[q]) >= c.qCap[q] {
 		return false
 	}
-	fp := usesFPRegs(d.U.Class)
+	fp := d.fpRegs
 	if d.U.HasDest() {
 		// Check before popping so a failed allocation leaves no trace.
 		if fp && len(c.fpFree) == 0 || !fp && len(c.intFree) == 0 {
@@ -313,20 +344,27 @@ func (c *CPU) dispatchOne(t *thread, now int64) bool {
 		if fp {
 			d.prevPhys = t.fpMap[arch]
 			t.fpMap[arch] = p
-			c.fpReady[p] = false
+			c.fpReady.clear(p)
 		} else {
 			d.prevPhys = t.intMap[arch]
 			t.intMap[arch] = p
-			c.intReady[p] = false
+			c.intReady.clear(p)
 		}
 		d.destPhys = p
 	}
 
 	d.state = stInQueue
-	c.queues[q] = append(c.queues[q], d)
+	// Insert keeping the queue age-sorted for issue's merge. New
+	// dispatches are usually the youngest in the queue (ages follow
+	// fetch order), so the common case is a plain append.
+	qs := append(c.queues[q], d)
+	for i := len(qs) - 1; i > 0 && qs[i-1].Age > d.Age; i-- {
+		qs[i], qs[i-1] = qs[i-1], qs[i]
+	}
+	c.queues[q] = qs
 	t.inQueues++
-	t.rob = append(t.rob, d)
-	t.feq = t.feq[1:]
+	t.rob.push(d)
+	t.feq.popFront()
 	return true
 }
 
@@ -377,7 +415,7 @@ func (c *CPU) fetch(now int64) {
 			t.stats.FetchBlockedRedirect++
 			continue
 		}
-		if len(t.feq) >= c.cfg.FetchQueueSize {
+		if t.feq.len() >= c.cfg.FetchQueueSize {
 			t.stats.FetchBlockedFeqFull++
 			continue
 		}
@@ -410,27 +448,26 @@ func (c *CPU) fetchFrom(t *thread, budget int, now int64) int {
 	lineStart := first.PC & lineMask
 
 	n := 0
-	for n < budget && len(t.feq) < c.cfg.FetchQueueSize {
+	for n < budget && t.feq.len() < c.cfg.FetchQueueSize {
 		u := t.peek()
 		if u.PC&lineMask != lineStart {
 			break
 		}
 		uop := t.consume()
-		d := &DynInst{
-			U:        uop,
-			Thread:   t.id,
-			Age:      c.ageCtr,
-			state:    stFrontEnd,
-			destPhys: -1, prevPhys: -1, src1Phys: -1, src2Phys: -1,
-			frontEndReadyAt: now + int64(c.cfg.FrontEndLatency),
-		}
+		d := c.arena.get()
+		d.U = uop
+		d.Thread = t.id
+		d.Age = c.ageCtr
+		d.fpRegs = usesFPRegs(uop.Class)
+		d.destPhys, d.prevPhys, d.src1Phys, d.src2Phys = -1, -1, -1, -1
+		d.frontEndReadyAt = now + int64(c.cfg.FrontEndLatency)
 		c.ageCtr++
 		t.stats.Fetched++
 		if uop.WrongPath {
 			t.stats.WrongPathFetched++
 		}
 		n++
-		t.feq = append(t.feq, d)
+		t.feq.push(d)
 		c.policy.OnFetch(d, now)
 
 		if !uop.Class.IsBranch() {

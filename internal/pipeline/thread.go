@@ -77,14 +77,20 @@ type thread struct {
 	id  int
 	src workload.Source
 
-	// Fetch-side state.
-	peeked    *isa.Uop // one-uop lookahead for the current stream
+	// Fetch-side state: a one-uop lookahead for the current stream,
+	// held by value so peeking never allocates.
+	peeked    isa.Uop
+	hasPeek   bool
 	wrongPath bool
 	// pendingBranch is the unresolved mispredicted correct-path branch
 	// this thread is fetching wrong-path behind, if any.
 	pendingBranch *DynInst
 	// replay holds correct-path uops squashed by a policy flush, to be
-	// re-fetched in order before consuming the generator again.
+	// re-fetched before consuming the generator again. It is a LIFO
+	// stack in reverse fetch order — the next uop to re-fetch is the
+	// last element — so both the consume side and the squash side are
+	// cheap appends/pops that reuse capacity instead of prepends that
+	// reallocate.
 	replay []isa.Uop
 	// icacheReadyAt blocks fetch until an I-miss fill arrives. The fill
 	// is forwarded to the waiting fetch: ifillLine records which line
@@ -99,10 +105,10 @@ type thread struct {
 	redirectAt int64
 
 	// Front-end queue: fetched uops traversing decode/rename.
-	feq []*DynInst
+	feq instDeque
 
 	// rob is the per-thread reorder buffer in program order.
-	rob []*DynInst
+	rob instDeque
 
 	// Rename map: architectural -> physical register.
 	intMap [isa.NumIntRegs]int32
@@ -122,39 +128,40 @@ type thread struct {
 
 // nextUop returns the next uop to fetch without consuming it.
 func (t *thread) peek() *isa.Uop {
-	if t.peeked == nil {
-		var u isa.Uop
+	if !t.hasPeek {
 		switch {
 		case t.wrongPath:
-			u = t.src.NextWrongPath()
+			t.peeked = t.src.NextWrongPath()
 		case len(t.replay) > 0:
-			u = t.replay[0]
-			t.replay = t.replay[1:]
+			t.peeked = t.replay[len(t.replay)-1]
+			t.replay = t.replay[:len(t.replay)-1]
 		default:
-			u = t.src.Next()
+			t.peeked = t.src.Next()
 		}
-		t.peeked = &u
+		t.hasPeek = true
 	}
-	return t.peeked
+	return &t.peeked
 }
 
 // consume takes the peeked uop.
 func (t *thread) consume() isa.Uop {
 	u := *t.peek()
-	t.peeked = nil
+	t.hasPeek = false
 	return u
 }
 
 // dropPeekOnModeSwitch discards a peeked uop when the fetch stream
 // changes (entering or leaving wrong-path mode). A peeked correct-path
-// uop must be preserved, not dropped: it goes back to the front of the
-// replay queue. A peeked wrong-path uop is simply discarded.
+// uop must be preserved, not dropped: it is the youngest un-fetched uop,
+// so it goes back on top of the replay stack (re-fetched first — until
+// squashYounger pushes the even older squashed uops above it). A peeked
+// wrong-path uop is simply discarded.
 func (t *thread) dropPeek(wasWrongPath bool) {
-	if t.peeked == nil {
+	if !t.hasPeek {
 		return
 	}
 	if !wasWrongPath {
-		t.replay = append([]isa.Uop{*t.peeked}, t.replay...)
+		t.replay = append(t.replay, t.peeked)
 	}
-	t.peeked = nil
+	t.hasPeek = false
 }

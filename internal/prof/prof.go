@@ -1,0 +1,65 @@
+// Package prof wires the standard runtime profilers into the CLIs, so
+// performance work on the cycle engine starts from `smtsim -cpuprofile`
+// instead of an ad-hoc test harness. It is flag plumbing only — the
+// profiles themselves are the stock runtime/pprof formats, consumed
+// with `go tool pprof`.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags carries the profile destinations parsed from the command line.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Register declares the -cpuprofile and -memprofile flags on the
+// default flag set and returns the struct they populate.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling when requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The caller
+// must invoke stop on its successful exit path (error paths that
+// os.Exit lose the profiles, which is fine for a diagnostic tool).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialise the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

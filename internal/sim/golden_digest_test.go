@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dwarn/internal/core"
+	"dwarn/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden counter digests")
+
+// goldenRun is the fixed scenario the digests pin: every registered
+// policy on the 4-MIX workload with the default seed. The run is short
+// enough to keep the test fast but long enough to exercise squashes,
+// flushes, TLB misses, and every event kind.
+const (
+	goldenWorkload = "4-MIX"
+	goldenSeed     = 42
+	goldenWarmup   = 3000
+	goldenMeasure  = 10000
+)
+
+// goldenEntry records one policy's digest plus human-readable counters
+// so a mismatch report shows what moved, not just that something did.
+type goldenEntry struct {
+	Digest    string   `json:"digest"`
+	Cycles    int64    `json:"cycles"`
+	Committed []uint64 `json:"committed"`
+	Fetched   []uint64 `json:"fetched"`
+}
+
+// digestResult folds every per-thread counter the simulator reports —
+// pipeline, memory hierarchy, branch predictor — into one hash. Any
+// behavioural change to the cycle engine moves at least one counter and
+// therefore the digest.
+func digestResult(res *Result) goldenEntry {
+	h := sha256.New()
+	fmt.Fprintf(h, "cycles=%d\n", res.Cycles)
+	e := goldenEntry{Cycles: res.Cycles}
+	for i := range res.Threads {
+		t := &res.Threads[i]
+		fmt.Fprintf(h, "t%d %s pipeline=%+v mem=%+v bpred=%+v\n",
+			i, t.Benchmark, t.Pipeline, t.Mem, t.Bpred)
+		e.Committed = append(e.Committed, t.Pipeline.Committed)
+		e.Fetched = append(e.Fetched, t.Pipeline.Fetched)
+	}
+	e.Digest = hex.EncodeToString(h.Sum(nil))
+	return e
+}
+
+// TestGoldenCounterDigests is the determinism regression oracle for the
+// cycle engine: per-thread counter digests for all registered policies
+// on a fixed 4-MIX run, pinned from the pre-zero-alloc engine. Any
+// refactor of the event queue, instruction lifecycle, or issue select
+// must keep these digests bit-identical. Regenerate deliberately with
+//
+//	go test ./internal/sim -run TestGoldenCounterDigests -update
+func TestGoldenCounterDigests(t *testing.T) {
+	path := filepath.Join("testdata", "golden_digests.json")
+	wl, err := workload.GetWorkload(goldenWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]goldenEntry)
+	for _, policy := range core.Policies() {
+		res, err := Run(Options{
+			Policy:        policy,
+			Workload:      wl,
+			Seed:          goldenSeed,
+			WarmupCycles:  goldenWarmup,
+			MeasureCycles: goldenMeasure,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		got[policy] = digestResult(res)
+	}
+
+	if *updateGolden {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to create): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	for policy, g := range got {
+		w, ok := want[policy]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update)", policy)
+			continue
+		}
+		if g.Digest != w.Digest {
+			t.Errorf("%s: counter digest changed\n got %s (committed %v, fetched %v, cycles %d)\nwant %s (committed %v, fetched %v, cycles %d)",
+				policy, g.Digest, g.Committed, g.Fetched, g.Cycles,
+				w.Digest, w.Committed, w.Fetched, w.Cycles)
+		}
+	}
+	for policy := range want {
+		if _, ok := got[policy]; !ok {
+			t.Errorf("%s: golden entry for unregistered policy (run with -update)", policy)
+		}
+	}
+}

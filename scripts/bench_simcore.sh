@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_simcore.sh — record the cycle engine's perf trajectory.
+#
+# Runs BenchmarkSimulatorCycleRate (the number every experiment, sweep,
+# and service request bottoms out in) and writes BENCH_simcore.json with
+# ns/cycle, committed uops/sec, uops/cycle, and allocs+bytes per cycle
+# for each workload, so future PRs can diff the engine's perf curve
+# instead of eyeballing bench output.
+#
+# Usage:
+#   scripts/bench_simcore.sh [output.json]
+#   BENCHTIME=300000x scripts/bench_simcore.sh
+#
+# (or `make bench-simcore`)
+set -eu
+
+out="${1:-BENCH_simcore.json}"
+benchtime="${BENCHTIME:-100000x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSimulatorCycleRate' -benchmem \
+    -benchtime "$benchtime" -count 1 . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^BenchmarkSimulatorCycleRate\// {
+    # BenchmarkSimulatorCycleRate/4-MIX-8  N  1327 ns/op  0.81 uops/cycle  612345 uops/sec  2 B/op  0 allocs/op
+    split($1, path, "/")
+    wl = path[2]
+    sub(/-[0-9]+$/, "", wl)   # strip -GOMAXPROCS
+    delete m
+    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
+    names[n] = wl
+    ns[n]     = m["ns/op"]
+    upc[n]    = m["uops/cycle"]
+    ups[n]    = m["uops/sec"]
+    allocs[n] = m["allocs/op"]
+    bytes[n]  = m["B/op"]
+    n++
+}
+END {
+    if (n == 0) { print "bench_simcore: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSimulatorCycleRate\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"workloads\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": {\n", names[i]
+        printf "      \"ns_per_cycle\": %s,\n", ns[i]
+        printf "      \"uops_per_cycle\": %s,\n", upc[i]
+        printf "      \"uops_per_sec\": %s,\n", ups[i]
+        printf "      \"allocs_per_cycle\": %s,\n", allocs[i]
+        printf "      \"bytes_per_cycle\": %s\n", bytes[i]
+        printf "    }%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$raw" > "$out"
+
+echo "bench_simcore: wrote $out"
