@@ -1,7 +1,7 @@
 # Developer entry points. Everything here is plain go tool invocations;
 # the Makefile just names the common ones.
 
-.PHONY: build test race bench bench-simcore alloc-guard
+.PHONY: build test race bench bench-simcore bench-sweep alloc-guard
 
 build:
 	go build ./...
@@ -20,6 +20,11 @@ bench:
 # records ns/cycle, uops/sec, and allocs/cycle to BENCH_simcore.json.
 bench-simcore:
 	sh scripts/bench_simcore.sh
+
+# Sweep-executor perf trajectory: cells/sec at 1/2/4/8 workers over a
+# 64-cell grid, recorded to BENCH_sweep.json.
+bench-sweep:
+	sh scripts/bench_sweep.sh
 
 # Zero-allocation steady-state guard for the cycle engine.
 alloc-guard:

@@ -1,8 +1,10 @@
 // Command dwarnd serves the SMT simulator over HTTP: submit
-// simulations and policy × workload sweeps as async jobs, poll their
-// status, and let the content-addressed result cache absorb repeated
-// work. See README.md for the API walkthrough and DESIGN.md §dwarnd for
-// the architecture.
+// simulations as async jobs and policy × workload sweeps into the
+// shared parallel execution layer, poll status (sweeps report partial
+// per-cell progress), follow a sweep's SSE completion stream, cancel
+// cooperatively, and let the content-addressed result cache absorb
+// repeated work. See README.md for the API walkthrough and DESIGN.md
+// §dwarnd for the architecture.
 //
 // Examples:
 //
@@ -15,6 +17,8 @@
 //	curl -s -X POST localhost:8080/v1/sweeps -d '{"workloads":["4-MIX"]}'
 //	curl -s -X POST localhost:8080/v2/sweeps \
 //	    -d '{"policies":[{"name":"dwarn","params":{"warn":[1,2,4]}}],"workloads":[{"name":"2-MEM"}]}'
+//	curl -sN localhost:8080/v2/sweeps/sweep-000001/events   # SSE progress
+//	curl -s -X DELETE localhost:8080/v2/sweeps/sweep-000001 # cancel
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 		cacheEntries = flag.Int("cache", 4096, "result cache entries")
 		maxCycles    = flag.Int64("max-cycles", 5_000_000, "per-request cycle cap (warmup and measure each; <0 = uncapped)")
 		maxCells     = flag.Int("max-sweep-cells", 1024, "largest sweep expansion one request may fan out")
+		maxSweeps    = flag.Int("max-active-sweeps", 16, "concurrently executing sweeps before submissions fail fast with 503")
 		specPath     = flag.String("spec", "", "submit this JSON spec file (run or sweep) at startup to pre-warm the cache")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
@@ -67,11 +72,12 @@ func main() {
 	}
 
 	srv := service.New(service.Options{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		CacheEntries:  *cacheEntries,
-		MaxCycles:     *maxCycles,
-		MaxSweepCells: *maxCells,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		MaxCycles:       *maxCycles,
+		MaxSweepCells:   *maxCells,
+		MaxActiveSweeps: *maxSweeps,
 	})
 
 	if *specPath != "" {

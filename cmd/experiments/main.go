@@ -2,7 +2,11 @@
 // the simulator, printing each as an aligned text table or, with
 // -json, as machine-readable JSON (the exp.Table shape). With -spec it
 // instead runs an arbitrary spec grid (a JSON run or sweep file, see
-// examples/specs/) and renders one generic results table.
+// examples/specs/) and renders one generic results table; a failing
+// cell renders an error column while the rest of the grid reports.
+// All simulations fan out over the shared execution layer: -parallel
+// bounds the worker pool (0 = GOMAXPROCS), and grid cells shared
+// between artifacts are simulated once.
 //
 // Examples:
 //
@@ -11,6 +15,7 @@
 //	experiments -exp fig3 -measure 300000 -warmup 120000
 //	experiments -exp table4 -json   # machine-readable output
 //	experiments -spec examples/specs/dwarn-warn-grid.json
+//	experiments -parallel 8         # one worker per core
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.

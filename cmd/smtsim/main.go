@@ -2,7 +2,12 @@
 // workload — and prints per-thread and aggregate statistics. Runs are
 // selected by flags, or declaratively with -spec: a JSON spec file
 // holding one run or a whole sweep grid (see examples/specs/), each
-// cell reported with its content-addressed fingerprint.
+// cell reported with its content-addressed fingerprint. Sweep cells
+// fan out over the shared execution layer (-parallel bounds the worker
+// pool); with -store DIR every finished cell persists to a durable
+// result store, so an interrupted sweep rerun with the same -store
+// resumes by skipping everything already simulated. One failing cell
+// is reported in place and never aborts the rest of the grid.
 //
 // Examples:
 //
@@ -10,21 +15,26 @@
 //	smtsim -policy flush -workload 8-MEM -machine deep -measure 300000
 //	smtsim -solo mcf
 //	smtsim -policy dwarn -workload 4-MIX -json
-//	smtsim -policy icount -workload 2-MEM -trace run.dwt   # record a uop trace
-//	smtsim -spec examples/specs/dwarn-warn-grid.json       # run a sweep spec
+//	smtsim -policy icount -workload 2-MEM -trace run.dwt    # record a uop trace
+//	smtsim -spec examples/specs/dwarn-warn-grid.json        # run a sweep spec
+//	smtsim -spec examples/specs/parallel-grid.json -parallel 8 -store /tmp/sweep
 //
 // A trace recorded with -trace replays through `smttrace replay` under
 // any policy, reproducing this run bit for bit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dwarn/internal/config"
 	"dwarn/internal/core"
+	"dwarn/internal/exec"
 	"dwarn/internal/out"
 	"dwarn/internal/prof"
 	"dwarn/internal/sim"
@@ -47,6 +57,8 @@ func main() {
 		tracePath = flag.String("trace", "", "record the run's uop streams to this trace file")
 		specPath  = flag.String("spec", "", "run a JSON spec file (one run or a sweep grid) instead of the flag selection")
 		maxCells  = flag.Int("max-cells", spec.DefaultMaxCells, "largest sweep expansion a -spec file may request")
+		parallel  = flag.Int("parallel", 0, "max concurrent sweep cells with -spec (0 = GOMAXPROCS)")
+		storeDir  = flag.String("store", "", "persist -spec cell results in this directory; rerunning resumes past stored cells")
 		listWork  = flag.Bool("list", false, "list workloads and benchmarks, then exit")
 	)
 	profFlags := prof.Register()
@@ -59,7 +71,10 @@ func main() {
 	defer stopProf()
 
 	if *specPath != "" {
-		runSpecFile(*specPath, *maxCells, *asJSON)
+		if !runSpecFile(*specPath, *maxCells, *parallel, *storeDir, *asJSON) {
+			stopProf()
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -132,17 +147,25 @@ func main() {
 
 // specCell is the JSON record emitted per spec cell: the canonical
 // identity plus the full result (and relative-IPC metrics when the
-// spec asks for baselines).
+// spec asks for baselines). A failing cell reports its error in place;
+// its siblings still carry results.
 type specCell struct {
 	Fingerprint string         `json:"fingerprint"`
 	Spec        spec.RunSpec   `json:"spec"`
-	Result      *sim.Result    `json:"result"`
+	Result      *sim.Result    `json:"result,omitempty"`
 	Summary     *stats.Summary `json:"summary,omitempty"`
+	Cached      bool           `json:"cached,omitempty"`
+	Error       string         `json:"error,omitempty"`
 }
 
-// runSpecFile executes every cell of a spec file in expansion order.
-// Trace references in the file resolve as filesystem paths.
-func runSpecFile(path string, maxCells int, asJSON bool) {
+// runSpecFile executes every cell of a spec file through the shared
+// execution layer — parallel workers bounded, memoised by fingerprint,
+// reported in expansion order regardless of completion order — and
+// reports whether every cell succeeded. Trace references in the file
+// resolve as filesystem paths. Interrupting the sweep (SIGINT/SIGTERM)
+// stops cells cooperatively; with -store the finished prefix survives
+// for the next run to resume from.
+func runSpecFile(path string, maxCells, parallel int, storeDir string, asJSON bool) bool {
 	f, err := spec.LoadFile(path)
 	if err != nil {
 		fatal(err)
@@ -151,34 +174,78 @@ func runSpecFile(path string, maxCells int, asJSON bool) {
 	if err != nil {
 		fatal(err)
 	}
+	resolved := make([]*spec.Resolved, len(runs))
+	for i, rs := range runs {
+		if resolved[i], err = rs.Resolve(spec.FileTraces{}); err != nil {
+			fatal(err)
+		}
+	}
 
+	var store exec.Store
+	if storeDir != "" {
+		ds, err := exec.NewDirStore(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	ex := exec.New(exec.Options{Workers: parallel, Store: store})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	progress := func(ev exec.Event) {
+		if !ev.Terminal() {
+			return
+		}
+		note := ev.State
+		if ev.Err != nil {
+			note = fmt.Sprintf("%s (%v)", ev.State, ev.Err)
+		}
+		fmt.Fprintf(os.Stderr, "smtsim: [%d/%d] %s/%s/%s seed=%d %s\n",
+			ev.Completed, ev.Total,
+			resolved[ev.Index].Spec.Machine.Name, resolved[ev.Index].Spec.Policy.ID(),
+			resolved[ev.Index].Spec.Workload.ID(), resolved[ev.Index].Spec.Seed, note)
+	}
+	results := ex.Execute(ctx, resolved, progress)
+
+	// Baselines pass: every distinct solo cell the finished cells need,
+	// as one batch over the same executor and store.
+	ok := true
+	summaries, err := exec.SoloSummaries(ctx, ex, resolved, results)
+	if err != nil {
+		if ctx.Err() == nil {
+			fatal(err)
+		}
+		// Interrupted mid-baselines: the cells below still print, but
+		// their summaries are missing — say so and exit nonzero rather
+		// than passing off a truncated run as complete.
+		fmt.Fprintf(os.Stderr, "smtsim: baselines incomplete: %v\n", err)
+		ok = false
+	}
 	var cells []specCell
-	soloIPC := map[string]float64{} // solo fingerprint → IPC, shared across cells
-	for _, rs := range runs {
-		resolved, err := rs.Resolve(spec.FileTraces{})
-		if err != nil {
-			fatal(err)
-		}
-		res, err := sim.Run(resolved.Options)
-		if err != nil {
-			fatal(err)
-		}
-		var summary *stats.Summary
-		if resolved.Spec.Baselines {
-			if summary, err = specBaselines(resolved, res, soloIPC); err != nil {
-				fatal(err)
-			}
+	for i, r := range results {
+		if r.Err != nil {
+			ok = false
 		}
 		if asJSON {
-			cells = append(cells, specCell{Fingerprint: resolved.Fingerprint, Spec: resolved.Spec, Result: res, Summary: summary})
+			c := specCell{Fingerprint: r.Fingerprint, Spec: resolved[i].Spec, Result: r.Result, Summary: summaries[i], Cached: r.Cached}
+			if r.Err != nil {
+				c.Error = r.Err.Error()
+			}
+			cells = append(cells, c)
 			continue
 		}
 		fmt.Printf("%s/%s/%s seed=%d fingerprint=%s\n",
-			resolved.Spec.Machine.Name, resolved.Spec.Policy.ID(), resolved.Spec.Workload.ID(),
-			resolved.Spec.Seed, resolved.Fingerprint[:12])
-		out.PrintResult(os.Stdout, res)
-		if summary != nil {
-			fmt.Printf("baselines: Hmean %.3f  weighted speedup %.3f\n", summary.Hmean, summary.WeightedSpeedup)
+			resolved[i].Spec.Machine.Name, resolved[i].Spec.Policy.ID(), resolved[i].Spec.Workload.ID(),
+			resolved[i].Spec.Seed, r.Fingerprint[:12])
+		if r.Err != nil {
+			fmt.Printf("error: %v\n\n", r.Err)
+			continue
+		}
+		out.PrintResult(os.Stdout, r.Result)
+		if summaries[i] != nil {
+			fmt.Printf("baselines: Hmean %.3f  weighted speedup %.3f\n", summaries[i].Hmean, summaries[i].WeightedSpeedup)
 		}
 		fmt.Println()
 	}
@@ -187,46 +254,7 @@ func runSpecFile(path string, maxCells int, asJSON bool) {
 			fatal(err)
 		}
 	}
-}
-
-// specBaselines runs each distinct benchmark of a finished cell solo
-// under ICOUNT (same machine, seed, and protocol — the same identity
-// the service's baselines path uses) and computes the relative-IPC
-// summary. soloIPC memoises solos by fingerprint across cells.
-func specBaselines(resolved *spec.Resolved, res *sim.Result, soloIPC map[string]float64) (*stats.Summary, error) {
-	byBench := map[string]float64{}
-	for _, b := range resolved.Options.Workload.Benchmarks {
-		if _, ok := byBench[b]; ok {
-			continue
-		}
-		soloSpec := spec.RunSpec{
-			Machine:       resolved.Spec.Machine,
-			Policy:        spec.Policy{Name: "icount"},
-			Workload:      spec.Workload{Solo: b},
-			Seed:          resolved.Spec.Seed,
-			WarmupCycles:  resolved.Spec.WarmupCycles,
-			MeasureCycles: resolved.Spec.MeasureCycles,
-		}
-		sr, err := soloSpec.Resolve(nil)
-		if err != nil {
-			return nil, err
-		}
-		ipc, ok := soloIPC[sr.Fingerprint]
-		if !ok {
-			solo, err := sim.Run(sr.Options)
-			if err != nil {
-				return nil, err
-			}
-			ipc = solo.Threads[0].IPC
-			soloIPC[sr.Fingerprint] = ipc
-		}
-		byBench[b] = ipc
-	}
-	solo := make([]float64, len(res.Threads))
-	for i, t := range res.Threads {
-		solo[i] = byBench[t.Benchmark]
-	}
-	return stats.Summarize(res.IPCs(), solo)
+	return ok
 }
 
 func fatal(err error) {

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"dwarn/internal/sim"
+	"dwarn/internal/spec"
+	"dwarn/internal/stats"
+)
+
+// SoloSummaries computes relative-IPC summaries for every finished
+// cell whose spec asks for baselines: each distinct benchmark runs
+// solo under ICOUNT (spec.SoloBaseline — the canonical identity every
+// consumer of a given baseline shares), deduplicated by fingerprint
+// across cells and executed as one batch through the executor's pool
+// and store. The returned slice is aligned with cells; entries stay
+// nil for cells without baselines, trace cells, and failed cells.
+//
+// This is the batch-after-the-grid shape `smtsim -spec` and the
+// experiment runner share. The dwarnd service computes the same
+// identities but interleaves its solo cells with the grid in one
+// Execute call (it needs per-cell progress while cells finish), so it
+// has its own assembly over spec.SoloBaseline.
+func SoloSummaries(ctx context.Context, ex *Executor, cells []*spec.Resolved, results []CellResult) ([]*stats.Summary, error) {
+	summaries := make([]*stats.Summary, len(cells))
+	cellSolos := make([]map[string]string, len(cells)) // benchmark → solo fingerprint
+	var batch []*spec.Resolved
+	seen := map[string]bool{}
+	for i, res := range cells {
+		if !res.Spec.Baselines || res.Options.Trace != nil || results[i].Err != nil {
+			continue
+		}
+		solos := map[string]string{}
+		for _, b := range res.Options.Workload.Benchmarks {
+			if _, dup := solos[b]; dup {
+				continue
+			}
+			soloSpec := spec.SoloBaseline(res.Spec, b)
+			sr, err := soloSpec.Resolve(nil)
+			if err != nil {
+				return summaries, err
+			}
+			solos[b] = sr.Fingerprint
+			if !seen[sr.Fingerprint] {
+				seen[sr.Fingerprint] = true
+				batch = append(batch, sr)
+			}
+		}
+		cellSolos[i] = solos
+	}
+	if len(batch) == 0 {
+		return summaries, nil
+	}
+
+	soloResults := ex.Execute(ctx, batch, nil)
+	if err := FirstError(soloResults); err != nil {
+		return summaries, err
+	}
+	// Index the in-memory batch results rather than re-reading the
+	// store: a DirStore's Put is best-effort, so the store is allowed
+	// to have dropped an entry the executor still holds.
+	soloRes := make(map[string]*sim.Result, len(soloResults))
+	for _, r := range soloResults {
+		soloRes[r.Fingerprint] = r.Result
+	}
+	for i, solos := range cellSolos {
+		if solos == nil {
+			continue
+		}
+		res := results[i].Result
+		solo := make([]float64, len(res.Threads))
+		for j, t := range res.Threads {
+			sr := soloRes[solos[t.Benchmark]]
+			if sr == nil {
+				return summaries, fmt.Errorf("exec: missing solo baseline for %s", t.Benchmark)
+			}
+			solo[j] = sr.Threads[0].IPC
+		}
+		summary, err := stats.Summarize(res.IPCs(), solo)
+		if err != nil {
+			return summaries, err
+		}
+		summaries[i] = summary
+	}
+	return summaries, nil
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dwarn/internal/sim"
+)
+
+// Store is the content-addressed result store every executor memoizes
+// through: keys are sim.Fingerprint identities, values are finished
+// results. One Store interface backs all three frontends — the exp
+// runner's memoiser is a MemStore, the dwarnd result cache adapts its
+// byte-level LRU onto it, and the CLI's resumable sweeps use a DirStore
+// — so an identical cell is never simulated twice no matter which
+// frontend asks, and a killed sweep resumes by skipping stored cells.
+//
+// Implementations must be safe for concurrent use. Results are treated
+// as immutable once stored: callers must not modify a returned Result,
+// and Get may return the same pointer to every caller.
+type Store interface {
+	// Get returns the stored result for a fingerprint, if present.
+	Get(fingerprint string) (*sim.Result, bool)
+	// Put stores a finished result under its fingerprint. Put is
+	// best-effort: a store that cannot persist (e.g. a full disk behind
+	// a DirStore) drops the entry rather than failing the sweep.
+	Put(fingerprint string, res *sim.Result)
+}
+
+// MemStore is an unbounded in-memory Store: the memoiser behind the
+// experiment runner and the default for CLI sweeps. The zero value is
+// not ready; use NewMemStore.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string]*sim.Result
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string]*sim.Result)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(fp string) (*sim.Result, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.m[fp]
+	return r, ok
+}
+
+// Put implements Store.
+func (s *MemStore) Put(fp string, res *sim.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[fp] = res
+}
+
+// Len returns the number of stored results.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// DirStore persists results as one JSON file per fingerprint under a
+// directory — the durable Store behind resumable CLI sweeps (smtsim
+// -spec -store DIR). Writes go through a temp file and rename, so a
+// sweep killed mid-write never leaves a corrupt entry: on the next run
+// the cell simply reruns. Unreadable or unparsable entries are treated
+// as misses for the same reason.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates the directory (if needed) and returns a store
+// over it.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(fp string) string {
+	return filepath.Join(s.dir, fp+".json")
+}
+
+// Get implements Store.
+func (s *DirStore) Get(fp string) (*sim.Result, bool) {
+	raw, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Put implements Store. Persistence is best-effort (see Store).
+func (s *DirStore) Put(fp string, res *sim.Result) {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+fp+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(fp)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

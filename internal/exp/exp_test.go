@@ -1,10 +1,14 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"dwarn/internal/config"
+	"dwarn/internal/exec"
+	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 )
 
@@ -111,6 +115,50 @@ func TestRunSpecsTable(t *testing.T) {
 	}
 	if tb.Rows[0][5] == tb.Rows[1][5] {
 		t.Error("warn=1 and warn=2 share a fingerprint")
+	}
+}
+
+// TestRunSpecsSurfacesCellErrors: a failing cell renders its error in
+// the generic table while its siblings still report results — the grid
+// is never aborted by one bad cell.
+func TestRunSpecsSurfacesCellErrors(t *testing.T) {
+	r := fastRunner()
+	// Swap in an executor that fails exactly the stall cell.
+	r.exec = exec.New(exec.Options{Workers: 2, Run: func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+		if res.Spec.Policy.Name == "stall" {
+			return nil, errors.New("injected failure")
+		}
+		return sim.RunContext(ctx, res.Options)
+	}})
+
+	specs, err := r.grid(spec.SweepSpec{
+		Policies:  []spec.PolicyAxis{{Name: "icount"}, {Name: "stall"}, {Name: "dwarn"}},
+		Workloads: []spec.Workload{{Name: "2-MIX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := r.RunSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Header[len(tb.Header)-1]; got != "error" {
+		t.Fatalf("no error column (header %v)", tb.Header)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		errCol := row[len(row)-1]
+		if row[1] == "stall" {
+			if !strings.Contains(errCol, "injected failure") || row[4] != "-" {
+				t.Fatalf("failing row %v", row)
+			}
+			continue
+		}
+		if errCol != "" || row[4] == "-" {
+			t.Fatalf("sibling row must carry a result: %v", row)
+		}
 	}
 }
 

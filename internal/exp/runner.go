@@ -8,21 +8,22 @@
 // Every experiment is a spec grid: the builders declare their runs as
 // spec.SweepSpec axes (machines × policies with parameter grids ×
 // workloads × seeds), expand them deterministically, and hand the cells
-// to the runner. Simulations are memoised by spec fingerprint — the
-// same content-addressed identity the dwarnd service cache uses — and
-// independent cells fan out over a worker pool, so experiments that
-// share grid cells (Figures 1 and 3, Table 4) pay for each simulation
-// once.
+// to the shared execution layer (internal/exec). Simulations are
+// memoised by spec fingerprint in the executor's Store — the same
+// content-addressed identity the dwarnd service cache uses — and
+// independent cells fan out over the executor's bounded worker pool, so
+// experiments that share grid cells (Figures 1 and 3, Table 4) pay for
+// each simulation once.
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
+	"dwarn/internal/exec"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
-	"dwarn/internal/stats"
 	"dwarn/internal/workload"
 )
 
@@ -55,23 +56,20 @@ func (c Config) withDefaults() Config {
 	if c.MeasureCycles == 0 {
 		c.MeasureCycles = DefaultMeasure
 	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.GOMAXPROCS(0)
-	}
 	return c
 }
 
-// Runner executes and memoises simulations. The memo is keyed by the
-// spec fingerprint, with a (machine, policy-id, workload, seed) index
-// on top for the lookups the table builders perform.
+// Runner executes experiments through the shared execution layer. The
+// executor's Store memoises by spec fingerprint; the runner adds a
+// (machine, policy-id, workload, seed) index on top for the lookups the
+// table builders perform.
 type Runner struct {
 	cfg    Config
 	traces spec.TraceResolver
+	exec   *exec.Executor
 
 	mu    sync.Mutex
-	runs  map[string]*sim.Result // fingerprint → result
-	errs  map[string]error       // fingerprint → error
-	index map[runKey]string      // identity quad → fingerprint
+	index map[runKey]string // identity quad → fingerprint
 }
 
 type runKey struct {
@@ -84,11 +82,11 @@ type runKey struct {
 // NewRunner builds a Runner with the given protocol. Spec files that
 // reference traces resolve them as filesystem paths.
 func NewRunner(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
 	return &Runner{
-		cfg:    cfg.withDefaults(),
+		cfg:    cfg,
 		traces: spec.FileTraces{},
-		runs:   make(map[string]*sim.Result),
-		errs:   make(map[string]error),
+		exec:   exec.New(exec.Options{Workers: cfg.Parallelism}),
 		index:  make(map[runKey]string),
 	}
 }
@@ -110,8 +108,8 @@ type gridCell struct {
 	key runKey
 }
 
-// resolveAll compiles every spec before anything runs, so a bad cell
-// cannot strand reservations in the memo for the good ones.
+// resolveAll compiles every spec before anything runs, so a bad cell is
+// reported before any simulation starts.
 func (r *Runner) resolveAll(specs []spec.RunSpec) ([]gridCell, error) {
 	cells := make([]gridCell, len(specs))
 	for i, rs := range specs {
@@ -138,72 +136,42 @@ func cellKey(res *spec.Resolved) runKey {
 	}
 }
 
-// runAll completes all cells, memoised, fanning out over the worker pool.
+// runAll completes all cells through the executor (memoised, fanned out
+// over its pool), failing on the first cell error in grid order — the
+// table builders need every cell to render anything.
 func (r *Runner) runAll(specs []spec.RunSpec) error {
 	cells, err := r.resolveAll(specs)
 	if err != nil {
 		return err
 	}
-	return r.runResolved(cells)
+	_, err = r.runResolved(cells)
+	return err
 }
 
-func (r *Runner) runResolved(cells []gridCell) error {
-	var pending []gridCell
-	fps := make([]string, len(cells))
+// runResolved executes resolved cells and indexes their identities. The
+// returned slice is in input order; its per-cell errors are also folded
+// into the returned error (first in grid order) for callers that need
+// every cell.
+func (r *Runner) runResolved(cells []gridCell) ([]exec.CellResult, error) {
+	resolved := make([]*spec.Resolved, len(cells))
 	r.mu.Lock()
 	for i, c := range cells {
-		fp := c.res.Fingerprint
-		fps[i] = fp
-		r.index[c.key] = fp
-		if _, ok := r.runs[fp]; ok {
-			continue
-		}
-		if _, ok := r.errs[fp]; ok {
-			continue
-		}
-		// Reserve the slot so duplicate cells in this batch run once.
-		r.runs[fp] = nil
-		pending = append(pending, c)
+		resolved[i] = c.res
+		r.index[c.key] = c.res.Fingerprint
 	}
 	r.mu.Unlock()
-
-	sem := make(chan struct{}, r.cfg.Parallelism)
-	var wg sync.WaitGroup
-	for _, c := range pending {
-		wg.Add(1)
-		go func(c gridCell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := sim.Run(c.res.Options)
-			r.mu.Lock()
-			if err != nil {
-				delete(r.runs, c.res.Fingerprint)
-				r.errs[c.res.Fingerprint] = err
-			} else {
-				r.runs[c.res.Fingerprint] = res
-			}
-			r.mu.Unlock()
-		}(c)
-	}
-	wg.Wait()
-
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, fp := range fps {
-		if err := r.errs[fp]; err != nil {
-			return err
-		}
-	}
-	return nil
+	results := r.exec.Execute(context.Background(), resolved, nil)
+	return results, exec.FirstError(results)
 }
 
 // get returns a memoised result under the runner's own seed; runAll
 // must have succeeded for its cell.
 func (r *Runner) get(machine, policy, wl string) *sim.Result {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.runs[r.index[runKey{machine: machine, policy: policy, workload: wl, seed: r.cfg.Seed}]]
+	fp := r.index[runKey{machine: machine, policy: policy, workload: wl, seed: r.cfg.Seed}]
+	r.mu.Unlock()
+	res, _ := r.exec.Store().Get(fp)
+	return res
 }
 
 // soloSpecs builds the solo-baseline workload axis for every distinct
@@ -223,7 +191,7 @@ func soloSpecs(wls []workload.Workload) []spec.Workload {
 }
 
 // solo returns the single-thread IPC of a benchmark on a machine (the
-// relative-IPC denominator), memoised via the same cache.
+// relative-IPC denominator), memoised via the same store.
 func (r *Runner) solo(machine, bench string) (float64, error) {
 	specs, err := r.grid(spec.SweepSpec{
 		Machines:  []spec.Machine{{Name: machine}},
@@ -270,66 +238,38 @@ func (r *Runner) relIPCs(machine string, res *sim.Result) ([]float64, error) {
 
 // RunSpecs executes an arbitrary spec grid (the -spec path of
 // cmd/experiments) and renders one generic table: a row per cell with
-// its resolved identity, throughput, and fingerprint. Cells with
-// baselines set additionally report Hmean and weighted speedup over
-// solo-ICOUNT baselines run at the cell's own machine, seed, and
-// protocol (memoised like everything else).
+// its resolved identity, throughput, and fingerprint. Unlike the named
+// experiments, a failing cell does not abort the grid: its row reports
+// the error and every other cell still renders. Cells with baselines
+// set additionally report Hmean and weighted speedup over solo-ICOUNT
+// baselines run at the cell's own machine, seed, and protocol (memoised
+// like everything else).
 func (r *Runner) RunSpecs(cells []spec.RunSpec) (*Table, error) {
 	resolved, err := r.resolveAll(cells)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.runResolved(resolved); err != nil {
+	results, _ := r.runResolved(resolved) // per-cell errors render as rows
+
+	// Baselines pass: the shared batch shape (collect, dedupe by
+	// fingerprint, one Execute, summarize) lives in the execution layer.
+	specs := make([]*spec.Resolved, len(resolved))
+	for i, c := range resolved {
+		specs[i] = c.res
+	}
+	summaries, err := exec.SoloSummaries(context.Background(), r.exec, specs, results)
+	if err != nil {
 		return nil, err
 	}
 
-	// Baselines pass: collect each requesting cell's solo runs, dedupe
-	// by fingerprint, and run them as one batch.
-	cellSolos := make([]map[string]string, len(resolved)) // per cell: bench → solo fingerprint
-	soloBatch := map[string]gridCell{}
-	for i, c := range resolved {
-		if !c.res.Spec.Baselines || c.res.Options.Trace != nil {
-			continue
-		}
-		solos := map[string]string{}
-		for _, b := range c.res.Options.Workload.Benchmarks {
-			if _, ok := solos[b]; ok {
-				continue
-			}
-			soloSpec := spec.RunSpec{
-				Machine:       c.res.Spec.Machine,
-				Policy:        spec.Policy{Name: "icount"},
-				Workload:      spec.Workload{Solo: b},
-				Seed:          c.res.Spec.Seed,
-				WarmupCycles:  c.res.Spec.WarmupCycles,
-				MeasureCycles: c.res.Spec.MeasureCycles,
-			}
-			sr, err := soloSpec.Resolve(nil)
-			if err != nil {
-				return nil, err
-			}
-			solos[b] = sr.Fingerprint
-			soloBatch[sr.Fingerprint] = gridCell{res: sr, key: cellKey(sr)}
-		}
-		cellSolos[i] = solos
-	}
-	if len(soloBatch) > 0 {
-		batch := make([]gridCell, 0, len(soloBatch))
-		for _, c := range soloBatch {
-			batch = append(batch, c)
-		}
-		if err := r.runResolved(batch); err != nil {
-			return nil, err
-		}
-	}
-
 	hasBaselines := false
-	for _, m := range cellSolos {
-		if m != nil {
+	for _, s := range summaries {
+		if s != nil {
 			hasBaselines = true
 			break
 		}
 	}
+	hasErrors := exec.FirstError(results) != nil
 
 	t := &Table{
 		ID:     "spec-grid",
@@ -339,31 +279,34 @@ func (r *Runner) RunSpecs(cells []spec.RunSpec) (*Table, error) {
 	if hasBaselines {
 		t.Header = append(t.Header, "hmean", "wspeedup")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if hasErrors {
+		t.Header = append(t.Header, "error")
+	}
 	for i, c := range resolved {
-		res := r.runs[c.res.Fingerprint]
+		cr := results[i]
+		tp := "-"
+		if cr.Result != nil {
+			tp = cell(cr.Result.Throughput)
+		}
 		row := []string{
 			c.key.machine, c.key.policy, c.key.workload,
 			fmt.Sprintf("%d", c.key.seed),
-			cell(res.Throughput),
+			tp,
 			c.res.Fingerprint[:12],
 		}
 		if hasBaselines {
 			hm, ws := "-", "-"
-			if solos := cellSolos[i]; solos != nil {
-				smt := res.IPCs()
-				solo := make([]float64, len(res.Threads))
-				for j, th := range res.Threads {
-					solo[j] = r.runs[solos[th.Benchmark]].Threads[0].IPC
-				}
-				summary, err := stats.Summarize(smt, solo)
-				if err != nil {
-					return nil, err
-				}
-				hm, ws = cell(summary.Hmean), cell(summary.WeightedSpeedup)
+			if s := summaries[i]; s != nil {
+				hm, ws = cell(s.Hmean), cell(s.WeightedSpeedup)
 			}
 			row = append(row, hm, ws)
+		}
+		if hasErrors {
+			e := ""
+			if cr.Err != nil {
+				e = cr.Err.Error()
+			}
+			row = append(row, e)
 		}
 		t.Rows = append(t.Rows, row)
 	}

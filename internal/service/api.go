@@ -1,13 +1,17 @@
-// Package service exposes the simulator as a long-lived HTTP service:
-// REST endpoints over a bounded worker pool with a FIFO job queue,
-// per-job cancellation, and a content-addressed LRU result cache keyed
-// by the spec fingerprint so identical requests — including the
-// solo-IPC baselines behind every Hmean/weighted-speedup computation —
-// are paid for once across requests and across API versions. The /v2
-// endpoints speak internal/spec natively; the /v1 handlers are thin
-// adapters that translate their request shapes into the same RunSpecs,
-// so a v1 request and its v2 spelling share one cache entry. See
-// DESIGN.md §dwarnd for the architecture.
+// Package service exposes the simulator as a long-lived HTTP service.
+// Single runs queue as jobs over a bounded worker pool with per-job
+// cancellation; sweeps fan their cells into the shared execution layer
+// (internal/exec) — one server-wide bounded pool with per-sweep
+// cancellation, partial progress, an SSE completion stream, and
+// per-cell error isolation. Both paths memoise through one
+// content-addressed LRU result cache keyed by the spec fingerprint, so
+// identical requests — including the solo-IPC baselines behind every
+// Hmean/weighted-speedup computation — are paid for once across
+// requests, sweeps, and API versions. The /v2 endpoints speak
+// internal/spec natively; the /v1 handlers are thin adapters that
+// translate their request shapes into the same RunSpecs, so a v1
+// request and its v2 spelling share one cache entry. See DESIGN.md
+// §dwarnd for the architecture.
 package service
 
 import (
@@ -146,7 +150,11 @@ func (req *SweepRequest) Spec() (spec.SweepSpec, error) {
 	}, nil
 }
 
-// SweepCell is one grid point of a sweep's status.
+// SweepCell is one grid point of a sweep's status. Cells execute
+// through the shared execution layer (internal/exec), not the job
+// queue: a cell has no job id, and one failing cell never aborts its
+// siblings — its error is recorded here while the rest of the sweep
+// completes.
 type SweepCell struct {
 	Machine  string `json:"machine"`
 	Policy   string `json:"policy"`
@@ -154,17 +162,23 @@ type SweepCell struct {
 	Trace    string `json:"trace,omitempty"`
 	// Seed is the cell's resolved seed (sweeps may replicate over seeds).
 	Seed uint64 `json:"seed,omitempty"`
-	// Fingerprint is the cell's content-addressed run identity.
+	// Fingerprint is the cell's content-addressed run identity; the
+	// full result is available by submitting the same spec to /v2/runs
+	// (served from the shared cache).
 	Fingerprint string `json:"fingerprint,omitempty"`
-	// JobID is the cell's simulation job; poll it for the full result.
-	JobID string `json:"job_id"`
+	// State is queued, running, done, failed, or canceled.
 	State string `json:"state"`
+	// Cached reports the cell was served from the result store (an
+	// earlier run, a concurrent sweep, or a duplicate cell in this one).
+	Cached bool `json:"cached,omitempty"`
 	// Throughput is filled in once the cell is done.
 	Throughput *float64 `json:"throughput,omitempty"`
-	// Hmean and WeightedSpeedup are filled in for Baselines sweeps.
+	// Hmean and WeightedSpeedup are filled in for Baselines sweeps once
+	// the cell's solo baselines have completed.
 	Hmean           *float64 `json:"hmean,omitempty"`
 	WeightedSpeedup *float64 `json:"weighted_speedup,omitempty"`
-	Error           string   `json:"error,omitempty"`
+	// Error is the cell's own failure; the sweep keeps going.
+	Error string `json:"error,omitempty"`
 }
 
 // SweepStatus is the response for GET /v1/sweeps/{id} and /v2/sweeps/{id}.
@@ -173,13 +187,37 @@ type SweepStatus struct {
 	State       string    `json:"state"` // running | done | failed | canceled
 	SubmittedAt time.Time `json:"submitted_at"`
 	Total       int       `json:"total"`
+	Running     int       `json:"running,omitempty"`
 	Done        int       `json:"done"`
 	Failed      int       `json:"failed"`
 	Canceled    int       `json:"canceled"`
-	// Error is set when the fan-out itself aborted (e.g. queue full);
-	// cells never submitted report state "unsubmitted".
+	// Error reports a sweep-level failure (e.g. rejected at shutdown).
 	Error string      `json:"error,omitempty"`
 	Cells []SweepCell `json:"cells"`
+}
+
+// SweepEvent is one frame of the GET /v2/sweeps/{id}/events SSE stream:
+// a per-cell state transition plus a progress snapshot. The stream
+// replays a sweep's full event history from the start, then follows
+// live until the sweep is terminal, where a final "end" event carries
+// the finished SweepStatus.
+type SweepEvent struct {
+	// Seq numbers events from 0 within the sweep.
+	Seq int `json:"seq"`
+	// Index is the cell's position in SweepStatus.Cells.
+	Index int `json:"index"`
+	// Fingerprint and State identify the transition (exec cell states:
+	// started, done, cached, failed, canceled).
+	Fingerprint string `json:"fingerprint"`
+	State       string `json:"state"`
+	// Throughput is set on done/cached transitions.
+	Throughput *float64 `json:"throughput,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	// Progress snapshot after this event.
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	Total    int `json:"total"`
 }
 
 // checkCycles validates requested run lengths against the per-run cap.

@@ -11,7 +11,7 @@ import (
 
 	"dwarn/internal/config"
 	"dwarn/internal/core"
-	"dwarn/internal/sim"
+	"dwarn/internal/exec"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
 	"dwarn/internal/workload"
@@ -38,6 +38,12 @@ type Options struct {
 	// larger grid is rejected with a 400 rather than fanning out
 	// unbounded jobs.
 	MaxSweepCells int
+	// MaxActiveSweeps bounds concurrently executing sweeps (default
+	// 16). Together with MaxSweepCells this caps the sweep backlog —
+	// at most MaxActiveSweeps × MaxSweepCells cells waiting on the
+	// executor pool; further submissions fail fast with a 503, the
+	// sweep-side analogue of the job queue's full-queue fast-fail.
+	MaxActiveSweeps int
 	// MaxTraceBytes caps an uploaded trace file (compressed bytes on
 	// the wire; default 32MB).
 	MaxTraceBytes int64
@@ -79,6 +85,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepCells <= 0 {
 		o.MaxSweepCells = 1024
 	}
+	if o.MaxActiveSweeps <= 0 {
+		o.MaxActiveSweeps = 16
+	}
 	if o.MaxTraceBytes <= 0 {
 		o.MaxTraceBytes = 32 << 20
 	}
@@ -94,51 +103,51 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// sweepCell is one resolved grid point: the canonical spec to run plus
-// the static display identity shown in status responses.
-type sweepCell struct {
-	resolved *spec.Resolved
-	view     SweepCell // identity fields only; state is filled per poll
-}
-
-// sweep tracks one sweep's fan-out. jobIDs may be shorter than cells
-// while fan-out is in progress or after it aborted (err is then set).
-type sweep struct {
-	id          string
-	submittedAt time.Time
-	cells       []sweepCell
-	jobIDs      []string
-	err         string // fan-out failure, terminal
-}
-
 // Server is the dwarnd HTTP service: REST handlers over a job Manager
-// and a content-addressed result Cache.
+// (single runs) and the shared execution layer (sweeps), both memoised
+// by one content-addressed result Cache.
 type Server struct {
 	opts   Options
 	cache  *Cache
 	mgr    *Manager
 	traces *TraceStore
+	exec   *exec.Executor // shared sweep pool over the cache-backed store
 	mux    *http.ServeMux
 	start  time.Time
 
-	mu         sync.Mutex
-	sweeps     map[string]*sweep
-	sweepOrder []string
-	sweepSeq   uint64
+	sweepWG    sync.WaitGroup
+	sweepCtx   context.Context // parent of every sweep's context
+	stopSweeps context.CancelFunc
+
+	mu          sync.Mutex
+	sweeps      map[string]*sweep
+	sweepOrder  []string
+	sweepSeq    uint64
+	sweepClosed bool
 }
 
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		cache:  NewCache(opts.CacheEntries),
-		mgr:    NewManager(opts.Workers, opts.QueueDepth, opts.MaxJobRecords),
-		traces: NewTraceStore(opts.MaxTraces, opts.MaxTraceStoreBytes),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
-		sweeps: make(map[string]*sweep),
+		opts:       opts,
+		cache:      NewCache(opts.CacheEntries),
+		mgr:        NewManager(opts.Workers, opts.QueueDepth, opts.MaxJobRecords),
+		traces:     NewTraceStore(opts.MaxTraces, opts.MaxTraceStoreBytes),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		sweepCtx:   ctx,
+		stopSweeps: cancel,
+		sweeps:     make(map[string]*sweep),
 	}
+	// Every sweep cell executes through this one executor: N concurrent
+	// sweeps share one bounded pool and one store identity — the same
+	// cache entries /v1/simulations and /v2/runs are served from.
+	s.exec = exec.New(exec.Options{
+		Workers: opts.Workers,
+		Store:   cacheStore{c: s.cache},
+	})
 	s.routes()
 	return s
 }
@@ -164,8 +173,33 @@ func (s *Server) routes() {
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the job queue; see Manager.Shutdown.
-func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+// Shutdown stops accepting work and drains both execution paths: the
+// job Manager's queue (single runs) and every active sweep. Queued and
+// running work completes normally; if ctx expires first, every
+// remaining job and sweep context is cancelled and Shutdown waits for
+// the workers to observe that before returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.sweepClosed = true
+	s.mu.Unlock()
+
+	sweepsDone := make(chan struct{})
+	go func() {
+		s.sweepWG.Wait()
+		close(sweepsDone)
+	}()
+	err := s.mgr.Shutdown(ctx)
+	select {
+	case <-sweepsDone:
+	case <-ctx.Done():
+		s.stopSweeps()
+		<-sweepsDone
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
 
 // CacheStats exposes the result cache counters (used by tests and /healthz).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
@@ -194,10 +228,11 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// submitError maps Manager submission failures to HTTP statuses.
+// submitError maps submission failures (job queue or sweep admission)
+// to HTTP statuses.
 func submitError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrTooManySweeps) {
 		status = http.StatusServiceUnavailable
 	}
 	writeError(w, status, err)
@@ -225,14 +260,18 @@ func (s *Server) resolveSpec(rs spec.RunSpec) (*spec.Resolved, error) {
 
 // runSim returns the marshaled SimulationResult for a resolved run (no
 // summary), computing and caching it under the spec fingerprint on a
-// miss.
+// miss. The computation itself goes through the shared executor, so a
+// run job and a sweep cell with the same fingerprint join one
+// in-flight simulation (and one bounded pool) instead of simulating
+// twice — the cache's single-flight dedupes identical run jobs, the
+// executor's dedupes across the run/sweep boundary.
 func (s *Server) runSim(ctx context.Context, res *spec.Resolved) (json.RawMessage, bool, error) {
 	return s.cache.GetOrCompute(ctx, simKey(res.Fingerprint), func() ([]byte, error) {
-		out, err := sim.RunContext(ctx, res.Options)
-		if err != nil {
+		results := s.exec.Execute(ctx, []*spec.Resolved{res}, nil)
+		if err := results[0].Err; err != nil {
 			return nil, err
 		}
-		return json.Marshal(&SimulationResult{Fingerprint: res.Fingerprint, Result: out})
+		return json.Marshal(&SimulationResult{Fingerprint: res.Fingerprint, Result: results[0].Result})
 	})
 }
 
@@ -265,14 +304,7 @@ func (s *Server) runSimWithBaselines(ctx context.Context, res *spec.Resolved) (j
 			if _, ok := soloIPC[bench]; ok {
 				continue
 			}
-			soloSpec := spec.RunSpec{
-				Machine:       res.Spec.Machine,
-				Policy:        spec.Policy{Name: "icount"},
-				Workload:      spec.Workload{Solo: bench},
-				Seed:          res.Spec.Seed,
-				WarmupCycles:  res.Spec.WarmupCycles,
-				MeasureCycles: res.Spec.MeasureCycles,
-			}
+			soloSpec := spec.SoloBaseline(res.Spec, bench)
 			soloRes, err := soloSpec.Resolve(nil)
 			if err != nil {
 				return nil, err
@@ -449,7 +481,7 @@ func (s *Server) handleCancelSimulation(w http.ResponseWriter, r *http.Request) 
 }
 
 // resolveSweep expands a sweep spec under the cell bound and resolves
-// every cell, validating the whole grid before any job is created.
+// every cell, validating the whole grid before any work is admitted.
 func (s *Server) resolveSweep(ss spec.SweepSpec) ([]sweepCell, error) {
 	runs, err := ss.Expand(s.opts.MaxSweepCells)
 	if err != nil {
@@ -492,52 +524,6 @@ func cellIdentity(res *spec.Resolved) SweepCell {
 	return c
 }
 
-// submitSweep registers and fans out resolved cells, writing the
-// resulting status (or fan-out failure) to w.
-func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
-	// Register the sweep before fanning out so a mid-fan-out failure
-	// leaves an observable record rather than orphaned jobs.
-	s.mu.Lock()
-	s.sweepSeq++
-	sw := &sweep{
-		id:          fmt.Sprintf("sweep-%06d", s.sweepSeq),
-		submittedAt: time.Now(),
-		cells:       cells,
-	}
-	s.sweeps[sw.id] = sw
-	s.sweepOrder = append(s.sweepOrder, sw.id)
-	for len(s.sweepOrder) > s.opts.MaxSweepRecords {
-		delete(s.sweeps, s.sweepOrder[0])
-		s.sweepOrder = s.sweepOrder[1:]
-	}
-	s.mu.Unlock()
-
-	for _, cell := range cells {
-		v, err := s.submitResolved(cell.resolved, cell.resolved.Spec)
-		if err != nil {
-			// Stop the cells already submitted and record the failure on
-			// the sweep itself; the 503 body carries the partial state.
-			s.mu.Lock()
-			sw.err = fmt.Sprintf("cell %s/%s/%s: %v", cell.view.Machine, cell.view.Policy, cell.view.Workload, err)
-			ids := append([]string(nil), sw.jobIDs...)
-			s.mu.Unlock()
-			for _, id := range ids {
-				s.mgr.Cancel(id)
-			}
-			status := http.StatusInternalServerError
-			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
-				status = http.StatusServiceUnavailable
-			}
-			writeJSON(w, status, s.sweepStatus(sw))
-			return
-		}
-		s.mu.Lock()
-		sw.jobIDs = append(sw.jobIDs, v.ID)
-		s.mu.Unlock()
-	}
-	writeJSON(w, http.StatusAccepted, s.sweepStatus(sw))
-}
-
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !s.decode(w, r, &req) {
@@ -554,80 +540,4 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submitSweep(w, cells)
-}
-
-func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sw, ok := s.sweeps[r.PathValue("id")]
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no sweep %q", r.PathValue("id")))
-		return
-	}
-	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
-}
-
-// sweepStatus assembles the aggregate view of a sweep from its jobs.
-func (s *Server) sweepStatus(sw *sweep) *SweepStatus {
-	s.mu.Lock()
-	jobIDs := append([]string(nil), sw.jobIDs...)
-	fanOutErr := sw.err
-	s.mu.Unlock()
-
-	st := &SweepStatus{
-		ID:          sw.id,
-		SubmittedAt: sw.submittedAt,
-		Total:       len(sw.cells),
-		Error:       fanOutErr,
-		Cells:       make([]SweepCell, 0, len(sw.cells)),
-	}
-	for i, c := range sw.cells {
-		cell := c.view
-		if i >= len(jobIDs) {
-			cell.State = "unsubmitted"
-			st.Cells = append(st.Cells, cell)
-			continue
-		}
-		cell.JobID = jobIDs[i]
-		v, ok := s.mgr.Get(cell.JobID)
-		if !ok {
-			// The job record aged out of the retention window.
-			cell.State = "expired"
-			st.Cells = append(st.Cells, cell)
-			continue
-		}
-		cell.State = v.State
-		cell.Error = v.Error
-		switch v.State {
-		case StateDone:
-			st.Done++
-			if sr, err := decodeSim(v.Result); err == nil {
-				t := sr.Result.Throughput
-				cell.Throughput = &t
-				if sr.Summary != nil {
-					h, ws := sr.Summary.Hmean, sr.Summary.WeightedSpeedup
-					cell.Hmean = &h
-					cell.WeightedSpeedup = &ws
-				}
-			}
-		case StateFailed:
-			st.Failed++
-		case StateCanceled:
-			st.Canceled++
-		}
-		st.Cells = append(st.Cells, cell)
-	}
-	switch {
-	case fanOutErr != "":
-		st.State = StateFailed
-	case st.Done == st.Total:
-		st.State = StateDone
-	case st.Done+st.Failed+st.Canceled == st.Total && st.Failed > 0:
-		st.State = StateFailed
-	case st.Done+st.Failed+st.Canceled == st.Total:
-		st.State = StateCanceled
-	default:
-		st.State = StateRunning
-	}
-	return st
 }

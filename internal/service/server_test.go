@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net/http"
@@ -13,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"dwarn/internal/exec"
 	"dwarn/internal/sim"
+	"dwarn/internal/spec"
 	"dwarn/internal/workload"
 )
 
@@ -492,49 +495,176 @@ func TestJobRecordPruning(t *testing.T) {
 	}
 }
 
-// TestSweepFanOutFailureObservable saturates a tiny queue so the sweep
-// fan-out aborts mid-way; the failure must be recorded on the sweep
-// (with already-submitted cells cancelled), not dropped.
-func TestSweepFanOutFailureObservable(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1, MaxCycles: 500_000_000})
-	long := SimulationRequest{
-		Policy: "icount", Workload: "8-MEM",
-		WarmupCycles: 200_000_000, MeasureCycles: 200_000_000,
-	}
-	running := submitSim(t, ts, long)
-	waitJob(t, ts, running.ID, StateRunning)
-	queued := long
-	queued.Seed = 2
-	submitSim(t, ts, queued) // occupies the single queue slot
+// TestSweepCellErrorIsolated: one failing cell must not abort the
+// sweep — its error is recorded in its slot while every sibling
+// completes with a result.
+func TestSweepCellErrorIsolated(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 2})
+	// Swap in an executor whose RunFunc fails exactly the FLUSH cell;
+	// everything else runs the real simulator over the same store.
+	srv.exec = exec.New(exec.Options{
+		Workers: 2,
+		Store:   cacheStore{c: srv.cache},
+		Run: func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+			if res.Spec.Policy.Name == "flush" {
+				return nil, errBoom
+			}
+			return sim.RunContext(ctx, res.Options)
+		},
+	})
 
 	resp, raw := postJSON(t, ts, "/v1/sweeps", SweepRequest{
-		Workloads: []string{"4-MIX"}, Seed: 9,
-		WarmupCycles: 200_000_000, MeasureCycles: 200_000_000,
+		Workloads:    []string{"4-MIX"},
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
 	})
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity sweep: status %d body %s", resp.StatusCode, raw)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps: status %d body %s", resp.StatusCode, raw)
 	}
 	var st SweepStatus
 	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.State != StateFailed || st.Error == "" {
-		t.Fatalf("aborted sweep state %q error %q", st.State, st.Error)
+	deadline := time.Now().Add(120 * time.Second)
+	for st.State == StateRunning && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts, "/v1/sweeps/"+st.ID, &st)
 	}
-	unsubmitted := 0
+	if st.State != StateFailed {
+		t.Fatalf("sweep with one bad cell finished %q, want failed", st.State)
+	}
+	if st.Failed != 1 || st.Done != st.Total-1 {
+		t.Fatalf("counts done=%d failed=%d total=%d, want every other cell done", st.Done, st.Failed, st.Total)
+	}
 	for _, c := range st.Cells {
-		if c.State == "unsubmitted" {
-			unsubmitted++
+		if c.Policy == "flush" {
+			if c.State != StateFailed || c.Error == "" {
+				t.Fatalf("failing cell %+v", c)
+			}
+			continue
+		}
+		if c.State != StateDone || c.Throughput == nil {
+			t.Fatalf("sibling cell %s must survive the failure: %+v", c.Policy, c)
 		}
 	}
-	if unsubmitted == 0 {
-		t.Fatal("no cells reported unsubmitted")
+}
+
+var errBoom = errors.New("boom")
+
+// TestSweepAdmissionBound: sweeps bypass the job queue, so they carry
+// their own backpressure — beyond MaxActiveSweeps concurrently
+// executing sweeps, submission fails fast with a 503 instead of piling
+// up unbounded backlog. Cancelling an active sweep frees its slot.
+func TestSweepAdmissionBound(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxCycles: 500_000_000, MaxActiveSweeps: 2})
+	long := SweepRequest{
+		Policies:  []string{"icount"},
+		Workloads: []string{"8-MEM"},
+		// Long enough to still be running while the rest submit.
+		WarmupCycles: 200_000_000, MeasureCycles: 200_000_000,
 	}
-	// The record is still retrievable afterwards.
-	var again SweepStatus
-	getJSON(t, ts, "/v1/sweeps/"+st.ID, &again)
-	if again.State != StateFailed {
-		t.Fatalf("GET after abort: state %q", again.State)
+	var ids []string
+	for i := 0; i < 2; i++ {
+		req := long
+		req.Seed = uint64(i + 1) // distinct cells so nothing dedups
+		resp, raw := postJSON(t, ts, "/v1/sweeps", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("sweep %d: status %d body %s", i, resp.StatusCode, raw)
+		}
+		var st SweepStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	over := long
+	over.Seed = 99
+	resp, raw := postJSON(t, ts, "/v1/sweeps", over)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap sweep: status %d body %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "too many active sweeps") {
+		t.Fatalf("over-cap error body %s", raw)
+	}
+
+	// Free a slot and the same submission is admitted.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sweeps/"+ids[0], nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	var st SweepStatus
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		getJSON(t, ts, "/v2/sweeps/"+ids[0], &st)
+		if st.State != StateRunning {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, raw = postJSON(t, ts, "/v1/sweeps", over)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-cancel sweep: status %d body %s", resp.StatusCode, raw)
+	}
+	// Drain: cancel everything still running so cleanup is fast.
+	var last SweepStatus
+	if err := json.Unmarshal(raw, &last); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range append(ids[1:], last.ID) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sweeps/"+id, nil)
+		if dresp, err := http.DefaultClient.Do(req); err == nil {
+			dresp.Body.Close()
+		}
+	}
+}
+
+// TestSweepCancelMidFlight: DELETE /v2/sweeps/{id} stops a running
+// sweep cooperatively — running cells observe their context, queued
+// cells never start, and the record stays observable as canceled.
+func TestSweepCancelMidFlight(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxCycles: 500_000_000})
+	resp, raw := postJSON(t, ts, "/v1/sweeps", SweepRequest{
+		Workloads: []string{"8-MEM"},
+		// Long enough that the sweep is mid-flight when the DELETE lands.
+		WarmupCycles: 200_000_000, MeasureCycles: 200_000_000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps: status %d body %s", resp.StatusCode, raw)
+	}
+	var st SweepStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sweeps/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", dresp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State == StateRunning && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts, "/v2/sweeps/"+st.ID, &st)
+	}
+	if st.State != StateCanceled || st.Canceled == 0 {
+		t.Fatalf("canceled sweep state %q (canceled %d)", st.State, st.Canceled)
+	}
+
+	// Cancelling a terminal sweep is a conflict, like jobs.
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE: status %d, want 409", dresp.StatusCode)
 	}
 }
 

@@ -1,0 +1,560 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dwarn/internal/exec"
+	"dwarn/internal/sim"
+	"dwarn/internal/spec"
+	"dwarn/internal/stats"
+)
+
+// Sweeps execute through the shared execution layer (internal/exec),
+// not the job queue: every cell of every sweep fans into one bounded
+// executor pool, memoised by the same cache-backed store /v1 and /v2
+// run jobs are served from. A sweep is registered, prechecked against
+// the store (cells already paid for complete at submission time), and
+// its remaining cells run under a per-sweep context — DELETE cancels
+// them cooperatively mid-simulation. Per-cell completions append to an
+// event log that both the status endpoint (partial/progress results)
+// and the SSE stream (GET /v2/sweeps/{id}/events) are views of. One
+// failing cell records its error in its slot; the sweep keeps going.
+
+// ErrTooManySweeps reports sweep admission hitting MaxActiveSweeps;
+// the HTTP layer maps it to a 503, like a full job queue.
+var ErrTooManySweeps = errors.New("service: too many active sweeps")
+
+// cacheStore adapts the service's byte-level LRU result cache onto the
+// execution layer's Store interface. Entries are the exact marshaled
+// SimulationResult payloads the run endpoints serve, so a sweep cell
+// and a single-run request for the same spec share one cache entry in
+// both directions.
+type cacheStore struct{ c *Cache }
+
+// Get implements exec.Store.
+func (cs cacheStore) Get(fp string) (*sim.Result, bool) {
+	raw, ok := cs.c.Peek(simKey(fp))
+	if !ok {
+		return nil, false
+	}
+	sr, err := decodeSim(raw)
+	if err != nil {
+		return nil, false
+	}
+	return sr.Result, true
+}
+
+// Put implements exec.Store.
+func (cs cacheStore) Put(fp string, res *sim.Result) {
+	raw, err := json.Marshal(&SimulationResult{Fingerprint: fp, Result: res})
+	if err != nil {
+		return
+	}
+	cs.c.Put(simKey(fp), raw)
+}
+
+// sweepCell is one resolved grid point: the canonical spec to run plus
+// the static display identity shown in status responses.
+type sweepCell struct {
+	resolved *spec.Resolved
+	view     SweepCell // identity fields only; progress is tracked per cell
+}
+
+// cellProgress is one public cell's mutable state, guarded by the
+// server mutex.
+type cellProgress struct {
+	state      string // StateQueued/StateRunning/StateDone/StateFailed/StateCanceled
+	cached     bool
+	err        string
+	throughput *float64
+	hmean      *float64
+	wspeedup   *float64
+}
+
+// sweep tracks one sweep's execution. cells are the public grid points;
+// solos are the hidden solo-ICOUNT baseline cells a Baselines sweep
+// additionally executes (through the same store, so they are shared
+// with every other consumer needing the same denominator).
+type sweep struct {
+	id          string
+	submittedAt time.Time
+	cells       []sweepCell
+	solos       []sweepCell
+	soloFor     []map[string]string // per public cell: benchmark → solo fingerprint
+
+	progress []cellProgress
+	events   []SweepEvent
+	waiters  []chan struct{} // SSE streams blocked until the next event
+	state    string          // StateRunning until terminal
+	cancel   context.CancelFunc
+}
+
+// terminal reports whether the sweep has finished (all cells terminal
+// and summaries filled).
+func (sw *sweep) terminal() bool { return sw.state != StateRunning }
+
+// soloBaselines resolves the hidden solo cells a baselines cell needs:
+// each distinct benchmark solo under ICOUNT at the cell's own machine,
+// seed, and protocol — the canonical baseline identity every other
+// consumer shares.
+func soloBaselines(res *spec.Resolved) (map[string]string, []sweepCell, error) {
+	if !res.Spec.Baselines || res.Options.Trace != nil {
+		return nil, nil, nil
+	}
+	solos := map[string]string{}
+	var cells []sweepCell
+	for _, b := range res.Options.Workload.Benchmarks {
+		if _, ok := solos[b]; ok {
+			continue
+		}
+		soloSpec := spec.SoloBaseline(res.Spec, b)
+		sr, err := soloSpec.Resolve(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		solos[b] = sr.Fingerprint
+		cells = append(cells, sweepCell{resolved: sr, view: cellIdentity(sr)})
+	}
+	return solos, cells, nil
+}
+
+// submitSweep registers resolved cells, completes what the store
+// already holds, fans the remainder into the shared executor, and
+// writes the initial status snapshot to w.
+func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
+	// Resolve the hidden baseline cells before taking any locks.
+	soloFor := make([]map[string]string, len(cells))
+	var solos []sweepCell
+	seenSolo := map[string]bool{}
+	for i, c := range cells {
+		m, sc, err := soloBaselines(c.resolved)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		soloFor[i] = m
+		for _, cell := range sc {
+			if !seenSolo[cell.resolved.Fingerprint] {
+				seenSolo[cell.resolved.Fingerprint] = true
+				solos = append(solos, cell)
+			}
+		}
+	}
+
+	// Precheck every cell (public and solo) against the store: cells an
+	// earlier run, another sweep, or a duplicate already paid for are
+	// done at submission time, which is also what lets a re-submitted
+	// sweep resume exactly where a cancelled or failed one stopped.
+	all := append(append([]sweepCell(nil), cells...), solos...)
+	resByFp := make(map[string]*sim.Result)
+	hit := make([]bool, len(all))
+	for i, c := range all {
+		if res, ok := s.exec.Store().Get(c.resolved.Fingerprint); ok {
+			hit[i] = true
+			resByFp[c.resolved.Fingerprint] = res
+		}
+	}
+
+	ctx, cancel := context.WithCancel(s.sweepCtx)
+	sw := &sweep{
+		submittedAt: time.Now(),
+		cells:       cells,
+		solos:       solos,
+		soloFor:     soloFor,
+		progress:    make([]cellProgress, len(cells)),
+		state:       StateRunning,
+		cancel:      cancel,
+	}
+
+	// The cells the executor still has to pay for, with their index in
+	// the combined cell list so events map back.
+	var pending []*spec.Resolved
+	var pendingIdx []int
+	for i, c := range all {
+		if !hit[i] {
+			pending = append(pending, c.resolved)
+			pendingIdx = append(pendingIdx, i)
+		}
+	}
+
+	s.mu.Lock()
+	if s.sweepClosed {
+		s.mu.Unlock()
+		cancel()
+		submitError(w, ErrShuttingDown)
+		return
+	}
+	// Admission control: sweeps bypass the job queue, so they need
+	// their own fast-fail bound — without it a submit loop would pile
+	// up unbounded live sweeps (each with one blocked goroutine per
+	// pending cell). Fully-cached submissions are terminal on arrival
+	// and don't count against the cap.
+	if len(pending) > 0 {
+		active := 0
+		for _, id := range s.sweepOrder {
+			if !s.sweeps[id].terminal() {
+				active++
+			}
+		}
+		if active >= s.opts.MaxActiveSweeps {
+			s.mu.Unlock()
+			cancel()
+			submitError(w, fmt.Errorf("%w (max %d)", ErrTooManySweeps, s.opts.MaxActiveSweeps))
+			return
+		}
+	}
+	s.sweepSeq++
+	sw.id = fmt.Sprintf("sweep-%06d", s.sweepSeq)
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	s.pruneSweepsLocked()
+	for i := range sw.progress {
+		sw.progress[i].state = StateQueued
+	}
+	for i, c := range all {
+		if hit[i] {
+			s.cellEventLocked(sw, i, exec.Event{
+				Fingerprint: c.resolved.Fingerprint,
+				State:       exec.CellCached,
+				Result:      resByFp[c.resolved.Fingerprint],
+			})
+		}
+	}
+	if len(pending) == 0 {
+		s.finishSweepLocked(sw, resByFp, nil)
+		st := s.sweepStatusLocked(sw)
+		s.mu.Unlock()
+		// Terminal on arrival: release the per-sweep context now, or it
+		// would stay registered on the server-lifetime parent forever
+		// (DELETE refuses terminal sweeps, so nothing else frees it).
+		cancel()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	s.sweepWG.Add(1)
+	st := s.sweepStatusLocked(sw)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.sweepWG.Done()
+		defer cancel()
+		results := s.exec.Execute(ctx, pending, func(ev exec.Event) {
+			s.mu.Lock()
+			s.cellEventLocked(sw, pendingIdx[ev.Index], ev)
+			s.mu.Unlock()
+		})
+		errByFp := map[string]error{}
+		for _, r := range results {
+			if r.Result != nil {
+				resByFp[r.Fingerprint] = r.Result
+			} else if r.Err != nil {
+				errByFp[r.Fingerprint] = r.Err
+			}
+		}
+		s.mu.Lock()
+		s.finishSweepLocked(sw, resByFp, errByFp)
+		s.mu.Unlock()
+	}()
+
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// pruneSweepsLocked drops the oldest terminal sweep records beyond
+// MaxSweepRecords; active sweeps are never pruned.
+func (s *Server) pruneSweepsLocked() {
+	excess := len(s.sweepOrder) - s.opts.MaxSweepRecords
+	if excess <= 0 {
+		return
+	}
+	kept := s.sweepOrder[:0]
+	for _, id := range s.sweepOrder {
+		if excess > 0 && s.sweeps[id].terminal() {
+			delete(s.sweeps, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.sweepOrder = kept
+}
+
+// cellEventLocked folds one executor event into the sweep: public
+// cells update their progress and append to the event log (waking SSE
+// streams); solo baseline cells are internal and only feed summaries.
+func (s *Server) cellEventLocked(sw *sweep, idx int, ev exec.Event) {
+	if idx >= len(sw.cells) {
+		return // hidden solo baseline cell
+	}
+	p := &sw.progress[idx]
+	switch ev.State {
+	case exec.CellStarted:
+		p.state = StateRunning
+	case exec.CellDone, exec.CellCached:
+		p.state = StateDone
+		p.cached = ev.State == exec.CellCached
+		if ev.Result != nil {
+			t := ev.Result.Throughput
+			p.throughput = &t
+		}
+	case exec.CellFailed:
+		p.state = StateFailed
+		if ev.Err != nil {
+			p.err = ev.Err.Error()
+		}
+	case exec.CellCanceled:
+		p.state = StateCanceled
+		p.err = "canceled"
+	}
+
+	e := SweepEvent{
+		Seq:         len(sw.events),
+		Index:       idx,
+		Fingerprint: ev.Fingerprint,
+		State:       ev.State,
+		Throughput:  p.throughput,
+		Error:       p.err,
+		Total:       len(sw.cells),
+	}
+	if ev.State == exec.CellStarted {
+		e.Throughput = nil
+		e.Error = ""
+	}
+	for i := range sw.cells {
+		switch sw.progress[i].state {
+		case StateDone:
+			e.Done++
+		case StateFailed:
+			e.Failed++
+		case StateCanceled:
+			e.Canceled++
+		}
+	}
+	sw.events = append(sw.events, e)
+	s.wakeSweepLocked(sw)
+}
+
+// wakeSweepLocked releases every SSE stream blocked on this sweep.
+func (s *Server) wakeSweepLocked(sw *sweep) {
+	for _, ch := range sw.waiters {
+		close(ch)
+	}
+	sw.waiters = nil
+}
+
+// finishSweepLocked fills relative-IPC summaries for baselines cells
+// and derives the sweep's terminal state. A baselines cell whose solo
+// denominator failed or was cancelled is demoted from done to
+// failed/canceled with the solo's error — the cell's requested metrics
+// could not be computed, and reporting it done-without-summary would
+// pass that off silently.
+func (s *Server) finishSweepLocked(sw *sweep, resByFp map[string]*sim.Result, errByFp map[string]error) {
+	for i := range sw.cells {
+		p := &sw.progress[i]
+		solos := sw.soloFor[i]
+		if solos == nil || p.state != StateDone {
+			continue
+		}
+		res := resByFp[sw.cells[i].resolved.Fingerprint]
+		if res == nil {
+			continue
+		}
+		solo := make([]float64, len(res.Threads))
+		ok := true
+		for j, th := range res.Threads {
+			sr := resByFp[solos[th.Benchmark]]
+			if sr == nil || len(sr.Threads) == 0 {
+				ok = false
+				if err := errByFp[solos[th.Benchmark]]; err != nil {
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						p.state = StateCanceled
+						p.err = fmt.Sprintf("solo baseline for %s canceled", th.Benchmark)
+					} else {
+						p.state = StateFailed
+						p.err = fmt.Sprintf("solo baseline for %s failed: %v", th.Benchmark, err)
+					}
+				}
+				break
+			}
+			solo[j] = sr.Threads[0].IPC
+		}
+		if !ok {
+			continue
+		}
+		if summary, err := stats.Summarize(res.IPCs(), solo); err == nil {
+			h, ws := summary.Hmean, summary.WeightedSpeedup
+			p.hmean, p.wspeedup = &h, &ws
+		}
+	}
+
+	var failed, canceled int
+	for i := range sw.progress {
+		switch sw.progress[i].state {
+		case StateFailed:
+			failed++
+		case StateCanceled:
+			canceled++
+		}
+	}
+	switch {
+	case failed > 0:
+		sw.state = StateFailed
+	case canceled > 0:
+		sw.state = StateCanceled
+	default:
+		sw.state = StateDone
+	}
+	s.wakeSweepLocked(sw)
+}
+
+// sweepStatusLocked assembles the aggregate view of a sweep.
+func (s *Server) sweepStatusLocked(sw *sweep) *SweepStatus {
+	st := &SweepStatus{
+		ID:          sw.id,
+		State:       sw.state,
+		SubmittedAt: sw.submittedAt,
+		Total:       len(sw.cells),
+		Cells:       make([]SweepCell, 0, len(sw.cells)),
+	}
+	for i, c := range sw.cells {
+		p := sw.progress[i]
+		cell := c.view
+		cell.State = p.state
+		cell.Cached = p.cached
+		cell.Error = p.err
+		cell.Throughput = p.throughput
+		cell.Hmean = p.hmean
+		cell.WeightedSpeedup = p.wspeedup
+		switch p.state {
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+		st.Cells = append(st.Cells, cell)
+	}
+	return st
+}
+
+// lookupSweep returns a sweep by id.
+func (s *Server) lookupSweep(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no sweep %q", r.PathValue("id")))
+		return
+	}
+	s.mu.Lock()
+	st := s.sweepStatusLocked(sw)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancelSweep cancels a running sweep: cells already finished
+// keep their results, running cells stop at their next cooperative
+// check, queued cells never start.
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no sweep %q", r.PathValue("id")))
+		return
+	}
+	s.mu.Lock()
+	terminal := sw.terminal()
+	s.mu.Unlock()
+	if terminal {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: sweep %q already finished", sw.id))
+		return
+	}
+	sw.cancel()
+	s.mu.Lock()
+	st := s.sweepStatusLocked(sw)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSweepEvents streams a sweep's per-cell progress as Server-Sent
+// Events: the full event history replays first ("cell" events), then
+// the stream follows live completions, and a final "end" event carries
+// the terminal SweepStatus before the stream closes. Consuming the
+// stream to completion is therefore equivalent to polling the status
+// endpoint until terminal, without the polling.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no sweep %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	for {
+		s.mu.Lock()
+		pending := sw.events[next:]
+		terminal := sw.terminal()
+		var wait chan struct{}
+		if len(pending) == 0 && !terminal {
+			wait = make(chan struct{})
+			sw.waiters = append(sw.waiters, wait)
+		}
+		var final *SweepStatus
+		if len(pending) == 0 && terminal {
+			final = s.sweepStatusLocked(sw)
+		}
+		s.mu.Unlock()
+
+		for _, ev := range pending {
+			if err := writeSSE(w, "cell", ev); err != nil {
+				return
+			}
+			next++
+		}
+		if len(pending) > 0 {
+			flusher.Flush()
+			continue
+		}
+		if final != nil {
+			if writeSSE(w, "end", final) == nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one named SSE frame with a JSON payload.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

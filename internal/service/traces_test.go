@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
@@ -170,17 +171,37 @@ func TestTraceSweep(t *testing.T) {
 	if st.Total != 2 {
 		t.Fatalf("sweep total %d, want 2", st.Total)
 	}
+	deadline := time.Now().Add(120 * time.Second)
+	for st.State == StateRunning && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts, "/v1/sweeps/"+st.ID, &st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("trace sweep finished in state %q (%d/%d done)", st.State, st.Done, st.Total)
+	}
 	for _, cell := range st.Cells {
 		if cell.Trace != v.ID {
 			t.Fatalf("cell trace %q", cell.Trace)
 		}
-		done := waitJob(t, ts, cell.JobID, StateDone)
+		if cell.Throughput == nil || *cell.Throughput <= 0 {
+			t.Fatalf("cell %s/%s missing throughput", cell.Machine, cell.Policy)
+		}
+		// The sweep cell landed in the shared cache: a direct run of the
+		// same spec completes at submission time.
+		again := submitSim(t, ts, SimulationRequest{
+			Policy: cell.Policy, Trace: v.ID,
+			WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+		})
+		done := waitJob(t, ts, again.ID, StateDone)
+		if !done.Cached {
+			t.Fatalf("cell %s not shared with the run cache", cell.Policy)
+		}
 		sr, err := decodeSim(done.Result)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(sr.Result.Threads) != 2 || sr.Result.Throughput <= 0 {
-			t.Fatalf("cell %s/%s implausible result", cell.Machine, cell.Policy)
+		if len(sr.Result.Threads) != 2 || sr.Result.Throughput != *cell.Throughput {
+			t.Fatalf("cell %s/%s result mismatch with cache", cell.Machine, cell.Policy)
 		}
 	}
 }

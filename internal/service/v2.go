@@ -14,7 +14,10 @@ import (
 // through exactly the code path the /v1 adapters use, so a run has one
 // fingerprint and one cache entry regardless of which API version (or
 // which CLI) asked for it. Jobs and sweeps share the /v1 id spaces:
-// a job submitted on one version can be polled on the other.
+// a job submitted on one version can be polled on the other. Sweeps
+// additionally expose partial progress (GET /v2/sweeps/{id}), a live
+// SSE completion stream (GET /v2/sweeps/{id}/events), and cooperative
+// cancellation (DELETE /v2/sweeps/{id}).
 
 // RunAccepted is the response of POST /v2/runs: the job plus the
 // content-addressed identity of the run it executes (or was served
@@ -35,6 +38,8 @@ func (s *Server) routesV2() {
 	s.mux.HandleFunc("DELETE /v2/runs/{id}", s.handleCancelSimulation)
 	s.mux.HandleFunc("POST /v2/sweeps", s.handleSubmitSweepV2)
 	s.mux.HandleFunc("GET /v2/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("GET /v2/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("DELETE /v2/sweeps/{id}", s.handleCancelSweep)
 }
 
 // handlePoliciesV2 lists the registry with its declared parameters —

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"dwarn/internal/core"
+	"dwarn/internal/exec"
 	"dwarn/internal/spec"
 )
 
@@ -167,7 +170,7 @@ func TestV2RunInlineOverrides(t *testing.T) {
 // grid over the wire: 3 warn thresholds × 2 workloads, per-cell
 // fingerprints distinct per threshold, repeats served from cache.
 func TestV2DWarnWarnThresholdSweep(t *testing.T) {
-	srv, ts := newTestServer(t, Options{Workers: 4})
+	_, ts := newTestServer(t, Options{Workers: 4})
 	sweep := spec.SweepSpec{
 		Policies:     []spec.PolicyAxis{{Name: "dwarn", Params: map[string][]int64{"warn": {1, 2, 4}}}},
 		Workloads:    []spec.Workload{{Name: "2-MIX"}, {Name: "2-MEM"}},
@@ -222,14 +225,109 @@ func TestV2DWarnWarnThresholdSweep(t *testing.T) {
 	if err := json.Unmarshal(raw, &again); err != nil {
 		t.Fatal(err)
 	}
-	if again.Done != again.Total {
-		t.Fatalf("repeat sweep not fully served from cache: %d/%d done at submit", again.Done, again.Total)
+	if again.Done != again.Total || again.State != StateDone {
+		t.Fatalf("repeat sweep not fully served from cache: %d/%d done at submit (state %s)", again.Done, again.Total, again.State)
 	}
 	for _, cell := range again.Cells {
-		v, ok := srv.mgr.Get(cell.JobID)
-		if !ok || !v.Cached {
-			t.Fatalf("repeat cell %s/%s not marked cached", cell.Policy, cell.Workload)
+		if !cell.Cached || cell.Throughput == nil {
+			t.Fatalf("repeat cell %s/%s not marked cached (%+v)", cell.Policy, cell.Workload, cell)
 		}
+	}
+}
+
+// TestV2SweepSSEStream consumes GET /v2/sweeps/{id}/events to
+// completion: every cell's terminal transition arrives as a "cell"
+// frame, and the final "end" frame carries the finished status — the
+// no-polling path to a sweep's progress.
+func TestV2SweepSSEStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	sweep := spec.SweepSpec{
+		Policies:     []spec.PolicyAxis{{Name: "icount"}, {Name: "dwarn"}},
+		Workloads:    []spec.Workload{{Name: "2-MIX"}, {Name: "2-MEM"}},
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	}
+	resp, raw := postJSON(t, ts, "/v2/sweeps", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v2/sweeps: status %d body %s", resp.StatusCode, raw)
+	}
+	var st SweepStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	es, err := http.Get(ts.URL + "/v2/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if es.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", es.StatusCode)
+	}
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+
+	terminalCells := map[int]string{}
+	var final *SweepStatus
+	var event string
+	sc := bufio.NewScanner(es.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "cell":
+				var ev SweepEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("bad cell frame %q: %v", data, err)
+				}
+				if ev.State != exec.CellStarted {
+					terminalCells[ev.Index] = ev.State
+					if ev.Throughput == nil && ev.Error == "" {
+						t.Fatalf("terminal frame without throughput: %+v", ev)
+					}
+				}
+			case "end":
+				final = &SweepStatus{}
+				if err := json.Unmarshal([]byte(data), final); err != nil {
+					t.Fatalf("bad end frame %q: %v", data, err)
+				}
+			default:
+				t.Fatalf("unknown SSE event %q", event)
+			}
+		}
+	}
+	// The server closes the stream after the end frame; the scanner
+	// simply runs out of input.
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if final == nil {
+		t.Fatal("stream closed without an end frame")
+	}
+	if final.State != StateDone || final.Done != 4 {
+		t.Fatalf("end frame %+v", final)
+	}
+	if len(terminalCells) != 4 {
+		t.Fatalf("saw terminal frames for %d cells, want 4 (%v)", len(terminalCells), terminalCells)
+	}
+
+	// A second consumer after completion replays the full history and
+	// ends immediately.
+	es2, err := http.Get(ts.URL + "/v2/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es2.Body.Close()
+	replay, err := io.ReadAll(es2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(replay), "event: end") {
+		t.Fatalf("replay stream missing end frame: %s", replay)
 	}
 }
 

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"dwarn/internal/core"
+	"dwarn/internal/workload"
+)
+
+// TestConcurrentRunsAllPoliciesRaceFree is the concurrency-audit
+// regression test behind the parallel sweep executor: every registered
+// policy simulates concurrently (plus a concurrent Register exercising
+// the profile registry's write path), and each concurrent result must
+// be bit-identical to its serial counterpart. Under `go test -race`
+// (CI's default) this fails on any package-level mutable state or
+// shared RNG in pipeline/workload/core; without -race it still fails
+// if concurrent runs perturb each other's counters.
+func TestConcurrentRunsAllPoliciesRaceFree(t *testing.T) {
+	wl, err := workload.GetWorkload("2-MIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := func(policy string) Options {
+		return Options{
+			Policy:       policy,
+			Workload:     wl,
+			Seed:         7,
+			WarmupCycles: 1500, MeasureCycles: 4000,
+		}
+	}
+
+	policies := core.Policies()
+	serial := make(map[string]string, len(policies))
+	for _, p := range policies {
+		res, err := Run(opts(p))
+		if err != nil {
+			t.Fatalf("%s serial: %v", p, err)
+		}
+		serial[p] = res.CounterDigest()
+	}
+
+	var wg sync.WaitGroup
+	digests := make([]string, len(policies))
+	errs := make([]error, len(policies))
+	for i, p := range policies {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			res, err := Run(opts(p))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			digests[i] = res.CounterDigest()
+		}(i, p)
+	}
+	// Concurrent registry write: a new benchmark must not perturb (or
+	// race with) in-flight simulations that never reference it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base, err := workload.Get("gzip")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p := *base
+		p.Name = "race-probe"
+		if err := workload.Register(&p); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	for i, p := range policies {
+		if errs[i] != nil {
+			t.Fatalf("%s concurrent: %v", p, errs[i])
+		}
+		if digests[i] != serial[p] {
+			t.Errorf("%s: concurrent digest %s != serial %s — runs are not hermetic", p, digests[i], serial[p])
+		}
+	}
+}

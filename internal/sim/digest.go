@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CounterDigest folds every per-thread counter the simulator reports —
+// pipeline, memory hierarchy, branch predictor — plus the cycle count
+// into one hex SHA-256. Any behavioural difference between two runs
+// moves at least one counter and therefore the digest, which makes it
+// the equality oracle behind the golden-digest regression test and the
+// parallel-vs-serial sweep determinism guard: two Results digest equal
+// iff the simulations behaved identically, cycle for cycle.
+func (r *Result) CounterDigest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cycles=%d\n", r.Cycles)
+	for i := range r.Threads {
+		t := &r.Threads[i]
+		fmt.Fprintf(h, "t%d %s pipeline=%+v mem=%+v bpred=%+v\n",
+			i, t.Benchmark, t.Pipeline, t.Mem, t.Bpred)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,11 +1,8 @@
 package sim
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -36,22 +33,15 @@ type goldenEntry struct {
 	Fetched   []uint64 `json:"fetched"`
 }
 
-// digestResult folds every per-thread counter the simulator reports —
-// pipeline, memory hierarchy, branch predictor — into one hash. Any
-// behavioural change to the cycle engine moves at least one counter and
-// therefore the digest.
+// digestResult pairs Result.CounterDigest (the shared equality oracle)
+// with human-readable counters so a mismatch report shows what moved.
 func digestResult(res *Result) goldenEntry {
-	h := sha256.New()
-	fmt.Fprintf(h, "cycles=%d\n", res.Cycles)
-	e := goldenEntry{Cycles: res.Cycles}
+	e := goldenEntry{Digest: res.CounterDigest(), Cycles: res.Cycles}
 	for i := range res.Threads {
 		t := &res.Threads[i]
-		fmt.Fprintf(h, "t%d %s pipeline=%+v mem=%+v bpred=%+v\n",
-			i, t.Benchmark, t.Pipeline, t.Mem, t.Bpred)
 		e.Committed = append(e.Committed, t.Pipeline.Committed)
 		e.Fetched = append(e.Fetched, t.Pipeline.Fetched)
 	}
-	e.Digest = hex.EncodeToString(h.Sum(nil))
 	return e
 }
 

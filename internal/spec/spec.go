@@ -387,6 +387,25 @@ func (s *RunSpec) Fingerprint(r TraceResolver) (string, error) {
 	return res.Fingerprint, nil
 }
 
+// SoloBaseline derives the canonical solo-ICOUNT baseline spec for one
+// benchmark of a run: the same machine, seed, and protocol, one thread
+// under ICOUNT — the denominator of every relative-IPC metric. All
+// baseline computations (the service's runs and sweeps, the experiment
+// runner, smtsim -spec) MUST derive their solo cells through this one
+// function: relative-IPC metrics are cheap only because every consumer
+// resolves a given benchmark's baseline to the same fingerprint and
+// therefore the same cache entry.
+func SoloBaseline(s RunSpec, bench string) RunSpec {
+	return RunSpec{
+		Machine:       s.Machine,
+		Policy:        Policy{Name: "icount"},
+		Workload:      Workload{Solo: bench},
+		Seed:          s.Seed,
+		WarmupCycles:  s.WarmupCycles,
+		MeasureCycles: s.MeasureCycles,
+	}
+}
+
 // WorkloadID renders the workload's display identity: the workload
 // name, "solo-<bench>", "custom:<a>+<b>", or "trace:<ref>".
 func (w Workload) ID() string {

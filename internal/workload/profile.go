@@ -24,6 +24,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ThreadType is the paper's classification of a benchmark.
@@ -111,6 +112,14 @@ func (p *Profile) Validate() error {
 	}
 	return nil
 }
+
+// profilesMu guards profiles: the registry is mutable through Register,
+// and independent simulations read it concurrently (every sim.Run calls
+// Get while building generators and fingerprints), so unsynchronized
+// registration would race with a running sweep. Profiles themselves are
+// immutable once registered — Register stores a private copy and Get
+// hands out the shared pointer read-only.
+var profilesMu sync.RWMutex
 
 // profiles is the calibrated SPECint2000 set. Miss rates are the paper's
 // Table 2(a); instruction mixes and branch behaviour are typical
@@ -217,8 +226,11 @@ var profiles = map[string]*Profile{
 }
 
 // Get returns the calibrated profile for a SPECint2000 benchmark name.
+// The returned profile is shared and must not be modified.
 func Get(name string) (*Profile, error) {
+	profilesMu.RLock()
 	p, ok := profiles[name]
+	profilesMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
@@ -236,21 +248,28 @@ func MustGet(name string) *Profile {
 
 // Names returns all benchmark names in sorted order.
 func Names() []string {
+	profilesMu.RLock()
 	names := make([]string, 0, len(profiles))
 	for n := range profiles {
 		names = append(names, n)
 	}
+	profilesMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // Register adds or replaces a profile (used by the custom-workload
-// example and by tests). The profile must validate.
+// example and by tests). The profile must validate. Registering while
+// simulations run is safe but changes the fingerprints of future runs
+// referencing the benchmark; in-flight runs keep the profile pointer
+// they already resolved.
 func Register(p *Profile) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	cp := *p
+	profilesMu.Lock()
 	profiles[p.Name] = &cp
+	profilesMu.Unlock()
 	return nil
 }
