@@ -6,11 +6,19 @@
 // repeated work. See README.md for the API walkthrough and DESIGN.md
 // §dwarnd for the architecture.
 //
+// Every request is logged as a structured key=value line with a
+// request id, and GET /metrics serves the full Prometheus exposition
+// (HTTP, queue, executor, cache, and engine series). The -admin flag
+// opens a second (typically loopback) port carrying the operational
+// surface: /metrics, /debug/pprof/*, /healthz, and /buildinfo.
+//
 // Examples:
 //
 //	dwarnd -addr :8080
+//	dwarnd -addr :8080 -admin localhost:6060 -log-level debug
 //	dwarnd -spec examples/specs/table4-sweep.json   # pre-warm the cache
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/v1/simulations \
 //	    -d '{"policy":"dwarn","workload":"4-MIX"}'
 //	curl -s localhost:8080/v1/simulations/sim-000001
@@ -23,18 +31,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
+	"dwarn/internal/obs"
 	"dwarn/internal/service"
 	"dwarn/internal/spec"
 )
@@ -50,26 +60,18 @@ func main() {
 		maxSweeps    = flag.Int("max-active-sweeps", 16, "concurrently executing sweeps before submissions fail fast with 503")
 		specPath     = flag.String("spec", "", "submit this JSON spec file (run or sweep) at startup to pre-warm the cache")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		adminAddr    = flag.String("admin", "", "serve the admin mux (/metrics, /debug/pprof/*, /healthz, /buildinfo) on this address (e.g. localhost:6060; empty = disabled)")
+		pprofAddr    = flag.String("pprof", "", "deprecated synonym for -admin")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn, error, off")
 	)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		// The profiler gets its own mux on its own (typically loopback)
-		// address so diagnostics are never exposed on the service port.
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("dwarnd: pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("dwarnd: pprof server: %v", err)
-			}
-		}()
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarnd:", err)
+		os.Exit(2)
 	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	srv := service.New(service.Options{
 		Workers:         *workers,
@@ -78,23 +80,53 @@ func main() {
 		MaxCycles:       *maxCycles,
 		MaxSweepCells:   *maxCells,
 		MaxActiveSweeps: *maxSweeps,
+		Logger:          logger,
 	})
+
+	if *adminAddr == "" {
+		*adminAddr = *pprofAddr // -pprof kept as a deprecated synonym
+	}
+	if *adminAddr != "" {
+		// The operational surface gets its own mux on its own (typically
+		// loopback) address so diagnostics are never exposed on the
+		// service port.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		mux.HandleFunc("/buildinfo", handleBuildInfo)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("admin listening", "addr", *adminAddr)
+			if err := http.ListenAndServe(*adminAddr, mux); err != nil {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+	}
 
 	if *specPath != "" {
 		f, err := spec.LoadFile(*specPath)
 		if err != nil {
-			log.Fatalf("dwarnd: -spec: %v", err)
+			logger.Error("spec load", "path", *specPath, "err", err)
+			os.Exit(1)
 		}
 		views, err := srv.Preload(f)
 		switch {
 		case errors.Is(err, service.ErrQueueFull):
 			// A grid larger than the free queue is a partial warm-up,
 			// not a reason to refuse to serve.
-			log.Printf("dwarnd: -spec %s: %v; continuing with a partial preload", *specPath, err)
+			logger.Warn("partial preload", "path", *specPath, "err", err)
 		case err != nil:
-			log.Fatalf("dwarnd: -spec %s: %v", *specPath, err)
+			logger.Error("preload", "path", *specPath, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("dwarnd: preloaded %d runs from %s", len(views), *specPath)
+		logger.Info("preloaded", "runs", len(views), "path", *specPath)
 	}
 
 	httpSrv := &http.Server{
@@ -108,29 +140,58 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dwarnd: listening on %s (%d workers, queue %d, cache %d entries)",
-			*addr, *workers, *queueDepth, *cacheEntries)
+		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queueDepth, "cache", *cacheEntries)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("dwarnd: %v", err)
+			logger.Error("serve", "err", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
 	}
 
 	// Stop accepting connections, then drain queued and in-flight jobs.
-	log.Printf("dwarnd: shutting down, draining jobs (up to %s)", *drainTimeout)
+	logger.Info("shutting down", "drain_timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("dwarnd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "dwarnd: job drain: %v\n", err)
+		logger.Error("job drain", "err", err)
 		os.Exit(1)
 	}
-	log.Print("dwarnd: drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// handleBuildInfo reports how this binary was built: Go version, module
+// path and version, and the embedded VCS stamps when present.
+func handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		http.Error(w, `{"error":"no build info"}`, http.StatusNotFound)
+		return
+	}
+	out := struct {
+		GoVersion string            `json:"go_version"`
+		Path      string            `json:"path"`
+		Version   string            `json:"version"`
+		Settings  map[string]string `json:"settings,omitempty"`
+	}{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Main.Path,
+		Version:   bi.Main.Version,
+		Settings:  map[string]string{},
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified", "GOOS", "GOARCH":
+			out.Settings[s.Key] = s.Value
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }

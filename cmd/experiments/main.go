@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dwarn/internal/exp"
+	"dwarn/internal/obs"
 	"dwarn/internal/out"
 	"dwarn/internal/prof"
 	"dwarn/internal/spec"
@@ -43,6 +44,8 @@ func main() {
 		measure  = flag.Int64("measure", 0, "measured cycles per run (0 = default)")
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text tables")
+		logLevel = flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, error, off")
+		metrics  = flag.String("metrics", "", "after all experiments, dump the metrics registry to this file in Prometheus text format")
 	)
 	profFlags := prof.Register()
 	flag.Parse()
@@ -52,6 +55,14 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	// Tables go to stdout; timing and progress diagnostics go to stderr
+	// as structured key=value lines, so piped table output stays clean.
+	logger := obs.NewLogger(os.Stderr, level)
 
 	r := exp.NewRunner(exp.Config{
 		Seed:          *seed,
@@ -69,10 +80,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		start := time.Now()
 		t, err := r.RunSpecs(cells)
 		if err != nil {
 			fatal(err)
 		}
+		logger.Info("spec done", "path", *specPath, "cells", len(cells), "dur", time.Since(start).Round(time.Millisecond))
+		dumpMetrics(*metrics)
 		if *asJSON {
 			if err := out.WriteJSON(os.Stdout, []*exp.Table{t}); err != nil {
 				fatal(err)
@@ -89,11 +103,14 @@ func main() {
 	}
 	var all []*exp.Table
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		logger.Debug("experiment start", "exp", id)
 		start := time.Now()
-		tables, err := r.Run(strings.TrimSpace(id))
+		tables, err := r.Run(id)
 		if err != nil {
 			fatal(err)
 		}
+		logger.Info("experiment done", "exp", id, "tables", len(tables), "dur", time.Since(start).Round(time.Millisecond))
 		if *asJSON {
 			all = append(all, tables...)
 			continue
@@ -103,10 +120,31 @@ func main() {
 		}
 		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	dumpMetrics(*metrics)
 	if *asJSON {
 		if err := out.WriteJSON(os.Stdout, all); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// dumpMetrics writes obs.Default — the engine's per-run snapshots and
+// the shared executor's series — as Prometheus text. No-op without
+// -metrics.
+func dumpMetrics(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = obs.Default.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

@@ -18,6 +18,7 @@
 //	smtsim -policy icount -workload 2-MEM -trace run.dwt    # record a uop trace
 //	smtsim -spec examples/specs/dwarn-warn-grid.json        # run a sweep spec
 //	smtsim -spec examples/specs/parallel-grid.json -parallel 8 -store /tmp/sweep
+//	smtsim -policy dwarn -workload 4-MIX -metrics run.prom  # dump metrics
 //
 // A trace recorded with -trace replays through `smttrace replay` under
 // any policy, reproducing this run bit for bit.
@@ -35,6 +36,7 @@ import (
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/exec"
+	"dwarn/internal/obs"
 	"dwarn/internal/out"
 	"dwarn/internal/prof"
 	"dwarn/internal/sim"
@@ -60,6 +62,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "max concurrent sweep cells with -spec (0 = GOMAXPROCS)")
 		storeDir  = flag.String("store", "", "persist -spec cell results in this directory; rerunning resumes past stored cells")
 		listWork  = flag.Bool("list", false, "list workloads and benchmarks, then exit")
+		metrics   = flag.String("metrics", "", "after the run or sweep, dump the metrics registry to this file in Prometheus text format")
 	)
 	profFlags := prof.Register()
 	flag.Parse()
@@ -71,7 +74,9 @@ func main() {
 	defer stopProf()
 
 	if *specPath != "" {
-		if !runSpecFile(*specPath, *maxCells, *parallel, *storeDir, *asJSON) {
+		ok := runSpecFile(*specPath, *maxCells, *parallel, *storeDir, *asJSON)
+		dumpMetrics(*metrics)
+		if !ok {
 			stopProf()
 			os.Exit(1)
 		}
@@ -140,9 +145,32 @@ func main() {
 		if err := out.WriteJSON(os.Stdout, res); err != nil {
 			fatal(err)
 		}
+		dumpMetrics(*metrics)
 		return
 	}
 	out.PrintResult(os.Stdout, res)
+	dumpMetrics(*metrics)
+}
+
+// dumpMetrics writes the process-wide registry — the engine's run
+// snapshots and, after a -spec sweep, the execution layer's series —
+// as Prometheus text exposition. No-op without -metrics.
+func dumpMetrics(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = obs.Default.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "smtsim: metrics written to %s\n", path)
 }
 
 // specCell is the JSON record emitted per spec cell: the canonical

@@ -20,14 +20,30 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dwarn/internal/config"
 	"dwarn/internal/core"
+	"dwarn/internal/obs"
 	"dwarn/internal/out"
 	"dwarn/internal/sim"
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
+
+// logger carries record/replay diagnostics as structured key=value
+// lines on stderr, keeping stdout for the command's actual output.
+// SMTTRACE_LOG=debug|warn|error|off overrides the default level.
+var logger = obs.NewLogger(os.Stderr, logLevelFromEnv())
+
+func logLevelFromEnv() obs.Level {
+	if s := os.Getenv("SMTTRACE_LOG"); s != "" {
+		if lvl, err := obs.ParseLevel(s); err == nil {
+			return lvl
+		}
+	}
+	return obs.LevelInfo
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -104,6 +120,7 @@ func cmdRecord(args []string) {
 		fatal(fmt.Errorf("-uops must be positive"))
 	}
 
+	start := time.Now()
 	srcs, err := wl.Generators(*seed)
 	if err != nil {
 		fatal(err)
@@ -127,6 +144,10 @@ func cmdRecord(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Info("trace recorded",
+		"file", *outPath, "workload", wl.Name, "seed", *seed,
+		"threads", len(srcs), "uops_per_thread", *uops, "bytes", n,
+		"dur", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("recorded %s: %d threads × %d uops, %d bytes (%.2f bytes/uop)\n",
 		*outPath, len(srcs), *uops, n, float64(n)/float64(len(srcs)**uops))
 }
@@ -211,6 +232,7 @@ func cmdReplay(args []string) {
 		fatal(err)
 	}
 
+	start := time.Now()
 	res, err := sim.Run(sim.Options{
 		Config:        cfg,
 		Policy:        *policy,
@@ -219,8 +241,14 @@ func cmdReplay(args []string) {
 		MeasureCycles: *measure,
 	})
 	if err != nil {
+		logger.Error("replay failed", "file", file, "policy", *policy, "err", err)
 		fatal(err)
 	}
+	logger.Info("replay finished",
+		"file", file, "workload", tr.Workload, "digest", tr.Digest,
+		"policy", res.Policy, "machine", *machine,
+		"cycles", res.Cycles, "throughput", res.Throughput,
+		"dur", time.Since(start).Round(time.Millisecond))
 	if *asJSON {
 		if err := out.WriteJSON(os.Stdout, res); err != nil {
 			fatal(err)

@@ -21,7 +21,9 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
+	"dwarn/internal/obs"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 )
@@ -38,6 +40,11 @@ type Options struct {
 	Store Store
 	// Run computes a cell (nil = sim.RunContext). Test seam.
 	Run RunFunc
+	// Registry receives the executor's metrics (nil = obs.Default):
+	// store hit/miss/put and single-flight dedup counters, terminal
+	// cells by state, per-policy cell wall-time histograms, and
+	// worker-pool utilization. See DESIGN.md §Observability.
+	Registry *obs.Registry
 }
 
 // Cell event states, in the order a cell can report them. Every cell
@@ -116,6 +123,7 @@ type Executor struct {
 	store   Store
 	run     RunFunc
 	sem     chan struct{}
+	met     *metrics
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -134,11 +142,16 @@ func New(opts Options) *Executor {
 			return sim.RunContext(ctx, res.Options)
 		}
 	}
+	met := newMetrics(opts.Registry, opts.Workers)
 	return &Executor{
-		workers:  opts.Workers,
-		store:    opts.Store,
+		workers: opts.Workers,
+		// Every store access — the executor's own memoization and
+		// callers going through Store(), like the service's submit-time
+		// precheck — counts into the hit/miss/put series.
+		store:    countingStore{inner: opts.Store, m: met},
 		run:      opts.Run,
 		sem:      make(chan struct{}, opts.Workers),
+		met:      met,
 		inflight: make(map[string]*flight),
 	}
 }
@@ -158,6 +171,7 @@ func (e *Executor) Workers() int { return e.workers }
 // with per-cell progress.
 func (e *Executor) Execute(ctx context.Context, cells []*spec.Resolved, onEvent func(Event)) []CellResult {
 	out := make([]CellResult, len(cells))
+	batchStart := time.Now()
 
 	var evMu sync.Mutex
 	completed := 0
@@ -166,6 +180,7 @@ func (e *Executor) Execute(ctx context.Context, cells []*spec.Resolved, onEvent 
 		defer evMu.Unlock()
 		if ev.Terminal() {
 			completed++
+			e.met.cellTerminal(ev.State)
 		}
 		ev.Completed = completed
 		ev.Total = len(cells)
@@ -209,6 +224,7 @@ func (e *Executor) Execute(ctx context.Context, cells []*spec.Resolved, onEvent 
 		}(i, c)
 	}
 	wg.Wait()
+	e.met.batchRate(len(cells), time.Since(batchStart))
 	return out
 }
 
@@ -226,6 +242,7 @@ func (e *Executor) cell(ctx context.Context, c *spec.Resolved, started func()) (
 		e.mu.Lock()
 		if f, ok := e.inflight[fp]; ok {
 			e.mu.Unlock()
+			e.met.dedup.Inc()
 			select {
 			case <-f.done:
 				if f.err == nil {
@@ -252,7 +269,11 @@ func (e *Executor) cell(ctx context.Context, c *spec.Resolved, started func()) (
 		if started != nil {
 			started()
 		}
+		e.met.workersBusy.Inc()
+		runStart := time.Now()
 		f.res, f.err = e.run(ctx, c)
+		e.met.cellSeconds(c.Spec.Policy.Name).Observe(time.Since(runStart).Seconds())
+		e.met.workersBusy.Dec()
 		<-e.sem
 		if f.err == nil {
 			e.store.Put(fp, f.res)

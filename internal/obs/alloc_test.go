@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+// TestMetricsHotPathZeroAlloc guards the instrumentation contract the
+// executor and cycle-engine snapshot rely on: once a metric handle
+// exists, recording through it must not allocate. If an increment on
+// the executor's per-cell path ever allocates, sweep throughput pays
+// for observability — this test makes that a build failure instead of
+// a profile surprise.
+func TestMetricsHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_alloc_total", "alloc guard", L("state", "done"))
+	g := r.Gauge("t_alloc_gauge", "alloc guard")
+	h := r.Histogram("t_alloc_seconds", "alloc guard", RunBuckets, L("policy", "dwarn"))
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(42) }},
+		{"Gauge.Add", func() { g.Add(1) }},
+		{"Histogram.Observe", func() { h.Observe(0.0042) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(1000, tc.fn); avg != 0 {
+			t.Errorf("%s: %.4f allocs/op, want 0", tc.name, avg)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): families in registration
+// order, each with its # HELP and # TYPE lines, histograms expanded
+// into cumulative _bucket/_sum/_count series. Func-backed series are
+// sampled at write time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind.typeName())
+		for _, suffix := range f.order {
+			s := f.series[suffix]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, suffix, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, suffix, formatFloat(s.g.Value()))
+			case kindCounterFunc, kindGaugeFunc:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, suffix, formatFloat(v))
+			case kindHistogram:
+				writeHistogram(bw, f.name, suffix, s.h)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// an le label, then _sum and _count.
+func writeHistogram(w io.Writer, name, suffix string, h *Histogram) {
+	// The le label joins any existing labels inside the braces.
+	open, cum := "{", uint64(0)
+	if suffix != "" {
+		open = suffix[:len(suffix)-1] + ","
+	}
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d\n", name, open, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count.Load())
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sampleLine matches one exposition sample: a metric name, an optional
+// {label="value",...} block, and a float value. Label values are
+// matched as proper quoted strings (backslash escapes allowed), so
+// values containing braces — route patterns like "/v2/sweeps/{id}" —
+// parse correctly. Tests use ParseText to assert dwarnd's /metrics
+// output is well-formed, so this is strict about the pieces it matches.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+// ParseText parses Prometheus text exposition into a map from full
+// series name (including the label block exactly as rendered) to value.
+// It fails on any line that is neither a comment, blank, nor a
+// well-formed sample, and on samples whose family lacks a preceding
+// # TYPE line — which makes it a structural validator for tests as
+// much as a reader.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	typed := make(map[string]string) // family -> type
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE comment %q", lineNo, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, fields[3])
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("obs: line %d: malformed sample %q", lineNo, line)
+		}
+		name := m[1]
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo, m[3], err)
+		}
+		out[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

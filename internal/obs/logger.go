@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff suppresses everything — the default for embedded use
+	// (library layers log nothing unless a frontend hands them a
+	// configured logger).
+	LevelOff
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error, off)", s)
+}
+
+// Logger writes leveled, structured key=value lines:
+//
+//	time=2026-08-08T12:00:00Z level=info msg="sweep submitted" id=sweep-000001 cells=72
+//
+// One line per event; writes are serialized under a mutex shared by
+// every derived (With) logger, so interleaved goroutines never shear a
+// line. The zero value is not usable; use NewLogger.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level *atomic.Int32
+	ctx   string // pre-rendered " k=v ..." context from With
+	now   func() time.Time
+}
+
+// NewLogger builds a logger writing at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	lv := &atomic.Int32{}
+	lv.Store(int32(level))
+	return &Logger{mu: &sync.Mutex{}, w: w, level: lv, now: time.Now}
+}
+
+// Nop returns a logger that discards everything — the default injected
+// into layers whose caller did not configure logging.
+func Nop() *Logger { return NewLogger(io.Discard, LevelOff) }
+
+// SetLevel changes the threshold (atomically; safe mid-flight).
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Enabled reports whether level would be written.
+func (l *Logger) Enabled(level Level) bool { return level >= Level(l.level.Load()) }
+
+// With returns a logger that appends the given key/value pairs to every
+// line it writes. The derived logger shares the parent's writer, mutex,
+// and level.
+func (l *Logger) With(kv ...any) *Logger {
+	var b strings.Builder
+	appendKVs(&b, kv)
+	return &Logger{mu: l.mu, w: l.w, level: l.level, ctx: l.ctx + b.String(), now: l.now}
+}
+
+// Debug, Info, Warn, and Error write one line at their level. kv is
+// alternating key, value pairs; a trailing odd value is logged under
+// the key "!badkey" rather than dropped.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg) + len(l.ctx))
+	b.WriteString("time=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.ctx)
+	appendKVs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendKVs renders alternating key/value pairs as " k=v" runs.
+func appendKVs(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok || key == "" {
+			key = "!badkey"
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(render(kv[i+1]))
+		} else {
+			b.WriteString(render(nil))
+		}
+	}
+}
+
+// render formats one value, quoting when the plain form would break
+// key=value parsing.
+func render(v any) string {
+	var s string
+	switch t := v.(type) {
+	case nil:
+		return `""`
+	case string:
+		s = t
+	case error:
+		s = t.Error()
+	case time.Duration:
+		s = t.String()
+	case float64:
+		s = strconv.FormatFloat(t, 'g', -1, 64)
+	case float32:
+		s = strconv.FormatFloat(float64(t), 'g', -1, 32)
+	default:
+		s = fmt.Sprint(v)
+	}
+	return quote(s)
+}
+
+// quote wraps s in double quotes when it contains spaces, quotes, or
+// '=' — anything that would shear the key=value grammar.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '"', '=', '\n', '\t':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

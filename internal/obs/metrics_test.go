@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("t_depth", "depth")
+	g.Set(3.5)
+	g.Add(1.5)
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+
+	h := r.Histogram("t_seconds", "seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("histogram count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106.05) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 106.05", h.Sum())
+	}
+}
+
+func TestRegistryGetOrCreateReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_hits_total", "hits", L("route", "/x"))
+	b := r.Counter("t_hits_total", "hits", L("route", "/x"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("t_hits_total", "hits", L("route", "/y"))
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	// Label order must not matter for identity.
+	x := r.Gauge("t_g", "g", L("a", "1"), L("b", "2"))
+	y := r.Gauge("t_g", "g", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_thing", "thing")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("t_thing", "thing")
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "requests", L("route", "/v1"), L("code", "200")).Add(7)
+	r.Gauge("t_queue_depth", "queue").Set(3)
+	r.GaugeFunc("t_active", "active", func() float64 { return 2 })
+	h := r.Histogram("t_latency_seconds", "latency", []float64{0.1, 1}, L("route", "/v1"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	series, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v\n%s", err, text)
+	}
+
+	want := map[string]float64{
+		`t_requests_total{code="200",route="/v1"}`: 7,
+		`t_queue_depth`: 3,
+		`t_active`:      2,
+		`t_latency_seconds_bucket{route="/v1",le="0.1"}`:  1,
+		`t_latency_seconds_bucket{route="/v1",le="1"}`:    2,
+		`t_latency_seconds_bucket{route="/v1",le="+Inf"}`: 3,
+		`t_latency_seconds_count{route="/v1"}`:            3,
+	}
+	for k, v := range want {
+		if got, ok := series[k]; !ok || got != v {
+			t.Errorf("series %s = %v (present=%v), want %v\n%s", k, got, ok, v, text)
+		}
+	}
+	if got := series[`t_latency_seconds_sum{route="/v1"}`]; math.Abs(got-5.55) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 5.55", got)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"t_x 1",                       // sample without TYPE
+		"# TYPE t_x counter\nt_x one", // non-numeric value
+		"# TYPE t_x counter\nt_x{ 1",  // broken label block
+		"# TYPE t_x flavour\nt_x 1",   // unknown type
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseText accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_esc_total", "esc", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped: %s", sb.String())
+	}
+	if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("escaped output did not parse: %v", err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_conc_total", "conc")
+	h := r.Histogram("t_conc_seconds", "conc", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+				r.Gauge("t_conc_gauge", "conc").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if g := r.Gauge("t_conc_gauge", "conc").Value(); g != 8000 {
+		t.Errorf("gauge = %v, want 8000", g)
+	}
+}

@@ -273,6 +273,10 @@ func (m *Manager) List() []JobView {
 	return out
 }
 
+// QueueLen returns the number of jobs waiting in the queue (the
+// dwarn_jobs_queue_depth gauge).
+func (m *Manager) QueueLen() int { return len(m.queue) }
+
 // Counts returns the number of jobs per state.
 func (m *Manager) Counts() map[string]int {
 	m.mu.Lock()

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"dwarn/internal/obs"
+)
+
+// The service's observability: every request passes through obsHandler
+// (latency/status by route, request-ID access log), and GET /metrics
+// serves the server's registry — HTTP series, job/sweep/cache gauges,
+// and the shared executor's counters — merged with obs.Default, where
+// the simulation engine records its end-of-run snapshots. One scrape
+// therefore sees the whole stack: HTTP → queue → executor → engine.
+
+// registerGauges binds the server's live state into its registry as
+// func-backed series, sampled at scrape time.
+func (s *Server) registerGauges() {
+	r := s.reg
+	r.GaugeFunc("dwarn_jobs_queue_depth", "Jobs waiting in the FIFO queue.",
+		func() float64 { return float64(s.mgr.QueueLen()) })
+	r.Gauge("dwarn_jobs_queue_capacity", "Capacity of the FIFO job queue.").Set(float64(s.opts.QueueDepth))
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		state := state
+		r.GaugeFunc("dwarn_jobs", "Retained job records by state.",
+			func() float64 { return float64(s.mgr.Counts()[state]) }, obs.L("state", state))
+	}
+	r.GaugeFunc("dwarn_sweeps_active", "Sweeps currently executing (admission is bounded by max_active_sweeps).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, sw := range s.sweeps {
+				if !sw.terminal() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.Gauge("dwarn_sweeps_active_max", "Admission bound on concurrently executing sweeps.").Set(float64(s.opts.MaxActiveSweeps))
+	r.GaugeFunc("dwarn_sse_subscribers", "Open sweep SSE event streams.",
+		func() float64 { return float64(s.sseSubs.Load()) })
+	r.GaugeFunc("dwarn_cache_entries", "Entries in the content-addressed result cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	r.CounterFunc("dwarn_cache_hits_total", "Result-cache hits (byte-level LRU shared by runs and sweep cells).",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	r.CounterFunc("dwarn_cache_misses_total", "Result-cache misses.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	r.GaugeFunc("dwarn_traces", "Uploaded uop traces held in memory.",
+		func() float64 { return float64(s.traces.Len()) })
+}
+
+// statusWriter captures the response code for metrics and access logs.
+// It forwards Flush so the SSE stream keeps working behind the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// obsHandler wraps the mux with per-request metrics and structured
+// access logs. The route label is the mux's registered pattern (bounded
+// cardinality), never the raw URL.
+func (s *Server) obsHandler() http.Handler {
+	const reqHelp = "HTTP requests by route pattern and status code."
+	const latHelp = "HTTP request latency by route pattern."
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, route := s.mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		id := "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		code := strconv.Itoa(sw.code)
+		s.reg.Counter("dwarn_http_requests_total", reqHelp, obs.L("route", route), obs.L("code", code)).Inc()
+		s.reg.Histogram("dwarn_http_request_seconds", latHelp, obs.DefBuckets, obs.L("route", route)).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"code", sw.code,
+			"dur", elapsed.Round(time.Microsecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry first, then obs.Default (the engine's run snapshots and any
+// process-wide series). The two registries use disjoint name sets by
+// convention, so the merge is concatenation.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+	if s.reg != obs.Default {
+		_ = obs.Default.WritePrometheus(w)
+	}
+}
+
+// MetricsHandler exposes the merged /metrics endpoint as a standalone
+// handler for the admin mux (cmd/dwarnd -admin).
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }
+
+// Registry returns the server's metrics registry (tests read counters
+// through it; the dwarnd main wires it nowhere else).
+func (s *Server) Registry() *obs.Registry { return s.reg }

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/exec"
+	"dwarn/internal/obs"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
 	"dwarn/internal/workload"
@@ -55,6 +57,15 @@ type Options struct {
 	// MaxTraceStoreBytes bounds the traces' total in-memory payload
 	// (default 1GB).
 	MaxTraceStoreBytes int64
+	// Registry receives the server's metrics (HTTP, jobs, sweeps,
+	// cache, executor). Default: a fresh registry per server, so
+	// concurrent servers in one process (tests) never share counters.
+	// GET /metrics additionally merges obs.Default, where the
+	// simulation engine records its per-run snapshots.
+	Registry *obs.Registry
+	// Logger receives structured access and lifecycle logs (default:
+	// discard). cmd/dwarnd passes a key=value logger on stderr.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +111,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxTraceStoreBytes <= 0 {
 		o.MaxTraceStoreBytes = 1 << 30
 	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Nop()
+	}
 	return o
 }
 
@@ -114,6 +131,11 @@ type Server struct {
 	exec   *exec.Executor // shared sweep pool over the cache-backed store
 	mux    *http.ServeMux
 	start  time.Time
+	reg    *obs.Registry
+	log    *obs.Logger
+
+	reqSeq  atomic.Uint64 // request-ID sequence for access logs
+	sseSubs atomic.Int64  // open SSE event streams
 
 	sweepWG    sync.WaitGroup
 	sweepCtx   context.Context // parent of every sweep's context
@@ -137,23 +159,30 @@ func New(opts Options) *Server {
 		traces:     NewTraceStore(opts.MaxTraces, opts.MaxTraceStoreBytes),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
+		reg:        opts.Registry,
+		log:        opts.Logger,
 		sweepCtx:   ctx,
 		stopSweeps: cancel,
 		sweeps:     make(map[string]*sweep),
 	}
 	// Every sweep cell executes through this one executor: N concurrent
 	// sweeps share one bounded pool and one store identity — the same
-	// cache entries /v1/simulations and /v2/runs are served from.
+	// cache entries /v1/simulations and /v2/runs are served from. Its
+	// metrics (store hits/misses, dedup, per-policy cell times) land in
+	// the server's registry.
 	s.exec = exec.New(exec.Options{
-		Workers: opts.Workers,
-		Store:   cacheStore{c: s.cache},
+		Workers:  opts.Workers,
+		Store:    cacheStore{c: s.cache},
+		Registry: s.reg,
 	})
+	s.registerGauges()
 	s.routes()
 	return s
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -170,8 +199,9 @@ func (s *Server) routes() {
 	s.routesV2()
 }
 
-// Handler returns the root http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler: the API mux behind the
+// observability layer (per-route metrics + request-ID access logs).
+func (s *Server) Handler() http.Handler { return s.obsHandler() }
 
 // Shutdown stops accepting work and drains both execution paths: the
 // job Manager's queue (single runs) and every active sweep. Queued and

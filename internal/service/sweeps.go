@@ -233,16 +233,20 @@ func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
 		// would stay registered on the server-lifetime parent forever
 		// (DELETE refuses terminal sweeps, so nothing else frees it).
 		cancel()
+		s.log.Info("sweep cached", "sweep", sw.id, "cells", len(cells), "solos", len(solos))
 		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
 	s.sweepWG.Add(1)
 	st := s.sweepStatusLocked(sw)
 	s.mu.Unlock()
+	s.log.Info("sweep submitted", "sweep", sw.id,
+		"cells", len(cells), "solos", len(solos), "pending", len(pending))
 
 	go func() {
 		defer s.sweepWG.Done()
 		defer cancel()
+		start := time.Now()
 		results := s.exec.Execute(ctx, pending, func(ev exec.Event) {
 			s.mu.Lock()
 			s.cellEventLocked(sw, pendingIdx[ev.Index], ev)
@@ -258,7 +262,10 @@ func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
 		}
 		s.mu.Lock()
 		s.finishSweepLocked(sw, resByFp, errByFp)
+		state := sw.state
 		s.mu.Unlock()
+		s.log.Info("sweep finished", "sweep", sw.id, "state", state,
+			"cells", len(cells), "dur", time.Since(start).Round(time.Millisecond))
 	}()
 
 	writeJSON(w, http.StatusAccepted, st)
@@ -508,6 +515,9 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+
+	s.sseSubs.Add(1)
+	defer s.sseSubs.Add(-1)
 
 	next := 0
 	for {

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"dwarn/internal/obs"
+)
+
+// Run metrics are a cheap end-of-run snapshot recorded once per
+// simulation on obs.Default, entirely outside the cycle loop — the
+// engine's zero-allocation steady state (TestStepZeroAllocSteadyState)
+// is untouched. dwarnd merges obs.Default into /metrics, and
+// `smtsim -metrics` dumps it, so the same series describe a run no
+// matter which frontend asked for it.
+var runMetrics struct {
+	once sync.Once
+
+	runs      func(policy string) *obs.Counter
+	seconds   func(policy string) *obs.Histogram
+	errors    *obs.Counter
+	cycles    *obs.Counter
+	uops      *obs.Counter
+	cyclesSec *obs.Gauge
+	uopsSec   *obs.Gauge
+
+	mu        sync.Mutex
+	byPolicyC map[string]*obs.Counter
+	byPolicyH map[string]*obs.Histogram
+}
+
+func initRunMetrics() {
+	r := obs.Default
+	runMetrics.byPolicyC = make(map[string]*obs.Counter)
+	runMetrics.byPolicyH = make(map[string]*obs.Histogram)
+	runMetrics.runs = func(policy string) *obs.Counter {
+		runMetrics.mu.Lock()
+		defer runMetrics.mu.Unlock()
+		c, ok := runMetrics.byPolicyC[policy]
+		if !ok {
+			c = r.Counter("dwarn_sim_runs_total", "Completed simulations by fetch policy.", obs.L("policy", policy))
+			runMetrics.byPolicyC[policy] = c
+		}
+		return c
+	}
+	runMetrics.seconds = func(policy string) *obs.Histogram {
+		runMetrics.mu.Lock()
+		defer runMetrics.mu.Unlock()
+		h, ok := runMetrics.byPolicyH[policy]
+		if !ok {
+			h = r.Histogram("dwarn_sim_run_seconds", "Wall time of one complete simulation (warmup + measurement), by fetch policy.", obs.RunBuckets, obs.L("policy", policy))
+			runMetrics.byPolicyH[policy] = h
+		}
+		return h
+	}
+	runMetrics.errors = r.Counter("dwarn_sim_run_errors_total", "Simulations that returned an error (bad options or cancellation).")
+	runMetrics.cycles = r.Counter("dwarn_sim_cycles_total", "Simulated cycles across all runs (warmup + measurement).")
+	runMetrics.uops = r.Counter("dwarn_sim_uops_total", "Committed (correct-path retired) uops across all measured intervals.")
+	runMetrics.cyclesSec = r.Gauge("dwarn_sim_cycles_per_second", "Simulated cycles per wall second over the most recent run.")
+	runMetrics.uopsSec = r.Gauge("dwarn_sim_uops_per_second", "Committed uops per wall second over the most recent run's measured interval.")
+}
+
+// recordRun folds one finished simulation into the snapshot.
+func recordRun(res *Result, warmup int64, elapsed time.Duration) {
+	runMetrics.once.Do(initRunMetrics)
+	policy := res.Policy
+	runMetrics.runs(policy).Inc()
+	runMetrics.seconds(policy).Observe(elapsed.Seconds())
+	var committed uint64
+	for i := range res.Threads {
+		committed += res.Threads[i].Pipeline.Committed
+	}
+	cycles := res.Cycles + warmup
+	runMetrics.cycles.Add(uint64(cycles))
+	runMetrics.uops.Add(committed)
+	if s := elapsed.Seconds(); s > 0 {
+		runMetrics.cyclesSec.Set(float64(cycles) / s)
+		runMetrics.uopsSec.Set(float64(committed) / s)
+	}
+}
+
+// recordRunError counts a failed simulation.
+func recordRunError() {
+	runMetrics.once.Do(initRunMetrics)
+	runMetrics.errors.Inc()
+}

@@ -7,6 +7,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"dwarn/internal/bpred"
 	"dwarn/internal/config"
@@ -148,8 +149,26 @@ func runCycles(ctx context.Context, cpu *pipeline.CPU, n int64) error {
 // RunContext executes one simulation, abandoning it (and returning
 // ctx.Err()) if the context is cancelled mid-run. This is the entry
 // point long-lived callers (the dwarnd service) use so a disconnected
-// or superseded request stops burning CPU.
+// or superseded request stops burning CPU. Each completed run records
+// a metrics snapshot (wall time, cycles/sec, uops/sec, per-policy run
+// counts) on obs.Default — sampled here, after the cycle loop, so the
+// engine's zero-allocation guarantee is untouched.
 func RunContext(ctx context.Context, opts Options) (*Result, error) {
+	start := time.Now()
+	res, err := runContext(ctx, opts)
+	if err != nil {
+		recordRunError()
+		return nil, err
+	}
+	warmup := opts.WarmupCycles
+	if warmup == 0 {
+		warmup = DefaultWarmupCycles
+	}
+	recordRun(res, warmup, time.Since(start))
+	return res, nil
+}
+
+func runContext(ctx context.Context, opts Options) (*Result, error) {
 	cfg := opts.Config
 	if cfg == nil {
 		cfg = config.Baseline()

@@ -26,7 +26,18 @@ go test -run '^$' -bench 'BenchmarkSweepExecutor' \
 
 maxprocs="$(go run ./scripts/maxprocs 2>/dev/null || echo 0)"
 
-awk -v benchtime="$benchtime" -v maxprocs="$maxprocs" '
+# A single-core runner cannot show parallel speedup: the 1..8-worker
+# rates all collapse to the serial rate and the recorded speedup is
+# meaningless as a regression baseline. Say so loudly and mark the
+# output so downstream diffs know to ignore it.
+degraded=false
+if [ "$maxprocs" -le 1 ]; then
+    degraded=true
+    echo "bench_sweep: WARNING: GOMAXPROCS=$maxprocs — parallel speedup is" >&2
+    echo "bench_sweep: WARNING: meaningless on a single-core runner; results marked degraded" >&2
+fi
+
+awk -v benchtime="$benchtime" -v maxprocs="$maxprocs" -v degraded="$degraded" '
 BEGIN { n = 0 }
 /^BenchmarkSweepExecutor\/workers-/ {
     # BenchmarkSweepExecutor/workers-4-8  N  123456 ns/op  64.00 cells  129.3 cells/sec
@@ -48,6 +59,7 @@ END {
     printf "  \"benchmark\": \"BenchmarkSweepExecutor\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"gomaxprocs\": %d,\n", maxprocs
+    printf "  \"degraded\": %s,\n", degraded
     printf "  \"grid_cells\": %d,\n", cells[0]
     printf "  \"cells_per_sec\": {\n"
     for (i = 0; i < n; i++) {
