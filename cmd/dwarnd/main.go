@@ -8,7 +8,13 @@
 //
 // Every request is logged as a structured key=value line with a
 // request id, and GET /metrics serves the full Prometheus exposition
-// (HTTP, queue, executor, cache, and engine series). The -admin flag
+// (HTTP, queue, executor, cache, and engine series). The request id is
+// also the trace id: an inbound X-Request-ID is honoured, and with
+// -log-level debug the same id follows the request through the exec
+// worker's cell logs into the sim run's own log line. Runs whose spec
+// sets "timeline" sample per-interval frames: GET /v2/runs/{id}/timeline
+// returns them, and the sweep SSE stream interleaves live "frame"
+// events as intervals close inside running cells. The -admin flag
 // opens a second (typically loopback) port carrying the operational
 // surface: /metrics, /debug/pprof/*, /healthz, and /buildinfo.
 //
@@ -27,6 +33,9 @@
 //	    -d '{"policies":[{"name":"dwarn","params":{"warn":[1,2,4]}}],"workloads":[{"name":"2-MEM"}]}'
 //	curl -sN localhost:8080/v2/sweeps/sweep-000001/events   # SSE progress
 //	curl -s -X DELETE localhost:8080/v2/sweeps/sweep-000001 # cancel
+//	curl -s -X POST localhost:8080/v2/runs \
+//	    -d '{"policy":{"name":"dwarn"},"workload":{"name":"4-MIX"},"timeline":{}}'
+//	curl -s localhost:8080/v2/runs/sim-000001/timeline      # interval frames
 package main
 
 import (

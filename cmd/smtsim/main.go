@@ -19,6 +19,8 @@
 //	smtsim -spec examples/specs/dwarn-warn-grid.json        # run a sweep spec
 //	smtsim -spec examples/specs/parallel-grid.json -parallel 8 -store /tmp/sweep
 //	smtsim -policy dwarn -workload 4-MIX -metrics run.prom  # dump metrics
+//	smtsim -policy dwarn -workload 4-MIX -timeline out.jsonl  # interval frames
+//	smtsim -policy dwarn -workload 4-MIX -timeline out.csv -timeline-interval 5000
 //
 // A trace recorded with -trace replays through `smttrace replay` under
 // any policy, reproducing this run bit for bit.
@@ -42,6 +44,7 @@ import (
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
+	"dwarn/internal/timeline"
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
@@ -63,6 +66,9 @@ func main() {
 		storeDir  = flag.String("store", "", "persist -spec cell results in this directory; rerunning resumes past stored cells")
 		listWork  = flag.Bool("list", false, "list workloads and benchmarks, then exit")
 		metrics   = flag.String("metrics", "", "after the run or sweep, dump the metrics registry to this file in Prometheus text format")
+		tlPath    = flag.String("timeline", "", "sample interval frames during the measured window and write them to this file (.csv extension → CSV, otherwise JSONL)")
+		tlIvl     = flag.Int64("timeline-interval", timeline.DefaultIntervalCycles, "cycles per timeline interval with -timeline")
+		tlFrames  = flag.Int("timeline-frames", timeline.DefaultMaxFrames, "most recent interval frames retained with -timeline")
 	)
 	profFlags := prof.Register()
 	flag.Parse()
@@ -113,6 +119,11 @@ func main() {
 		rec = trace.NewWriter(wl.Name, *seed)
 	}
 
+	var tlCfg *timeline.Config
+	if *tlPath != "" {
+		tlCfg = &timeline.Config{IntervalCycles: *tlIvl, MaxFrames: *tlFrames}
+	}
+
 	res, err := sim.Run(sim.Options{
 		Config:        cfg,
 		Policy:        *policy,
@@ -121,9 +132,13 @@ func main() {
 		Seed:          *seed,
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
+		Timeline:      tlCfg,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *tlPath != "" {
+		writeTimeline(*tlPath, res.Timeline)
 	}
 
 	if rec != nil {
@@ -150,6 +165,29 @@ func main() {
 	}
 	out.PrintResult(os.Stdout, res)
 	dumpMetrics(*metrics)
+}
+
+// writeTimeline writes a run's interval frames to path: CSV when the
+// file name ends in .csv (one row per thread per frame), JSONL
+// otherwise (one frame per line).
+func writeTimeline(path string, tl *timeline.Timeline) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = tl.WriteCSV(f)
+	} else {
+		err = tl.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "smtsim: timeline written to %s (%d frames, %d cycles/interval)\n",
+		path, len(tl.Frames), tl.IntervalCycles)
 }
 
 // dumpMetrics writes the process-wide registry — the engine's run

@@ -27,6 +27,7 @@ import (
 	"dwarn/internal/obs"
 	"dwarn/internal/out"
 	"dwarn/internal/sim"
+	"dwarn/internal/timeline"
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
@@ -214,6 +215,8 @@ func cmdReplay(args []string) {
 		warmup  = fs.Int64("warmup", 60000, "warmup cycles")
 		measure = fs.Int64("measure", 150000, "measured cycles")
 		asJSON  = fs.Bool("json", false, "emit the full result record as JSON")
+		tlPath  = fs.String("timeline", "", "sample interval frames during the measured window and write them to this file (.csv extension → CSV, otherwise JSONL)")
+		tlIvl   = fs.Int64("timeline-interval", timeline.DefaultIntervalCycles, "cycles per timeline interval with -timeline")
 	)
 	file, rest := splitFileArg(args)
 	fs.Parse(rest)
@@ -232,6 +235,11 @@ func cmdReplay(args []string) {
 		fatal(err)
 	}
 
+	var tlCfg *timeline.Config
+	if *tlPath != "" {
+		tlCfg = &timeline.Config{IntervalCycles: *tlIvl}
+	}
+
 	start := time.Now()
 	res, err := sim.Run(sim.Options{
 		Config:        cfg,
@@ -239,10 +247,14 @@ func cmdReplay(args []string) {
 		Trace:         tr,
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
+		Timeline:      tlCfg,
 	})
 	if err != nil {
 		logger.Error("replay failed", "file", file, "policy", *policy, "err", err)
 		fatal(err)
+	}
+	if *tlPath != "" {
+		writeTimeline(*tlPath, res.Timeline)
 	}
 	logger.Info("replay finished",
 		"file", file, "workload", tr.Workload, "digest", tr.Digest,
@@ -256,4 +268,27 @@ func cmdReplay(args []string) {
 		return
 	}
 	out.PrintResult(os.Stdout, res)
+}
+
+// writeTimeline writes a replay's interval frames to path: CSV when the
+// file name ends in .csv, JSONL otherwise. A trace replay's frames are
+// bit-identical to a live run of the same workload and seed under the
+// same policy — the property the timeline determinism tests pin down.
+func writeTimeline(path string, tl *timeline.Timeline) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = tl.WriteCSV(f)
+	} else {
+		err = tl.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("timeline written", "file", path, "frames", len(tl.Frames), "interval", tl.IntervalCycles)
 }

@@ -55,6 +55,15 @@ func (p *DG) Priority(now int64, dst []int) []int {
 	return dst
 }
 
+// GateClass implements pipeline.ClassifyingPolicy: gated strictly
+// above the threshold, never demoted.
+func (p *DG) GateClass(t int) pipeline.GateClass {
+	if p.cpu.L1DMissInFlight(t) > p.n {
+		return pipeline.GateGated
+	}
+	return pipeline.GateNormal
+}
+
 // pdgTableSize is the per-thread L1 miss predictor size (2-bit
 // saturating counters indexed by load PC).
 const pdgTableSize = 2048
@@ -157,4 +166,13 @@ func (p *PDG) Priority(now int64, dst []int) []int {
 	}
 	icountOrder(p.cpu, now, dst)
 	return dst
+}
+
+// GateClass implements pipeline.ClassifyingPolicy: gated while the
+// predicted-miss count exceeds the threshold.
+func (p *PDG) GateClass(t int) pipeline.GateClass {
+	if p.count[t] > p.n {
+		return pipeline.GateGated
+	}
+	return pipeline.GateNormal
 }

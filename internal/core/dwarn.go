@@ -40,6 +40,9 @@ type DWarn struct {
 	// split, sized once at Attach so classification never allocates.
 	dmissBuf []int
 	gatedBuf []int
+	// class records each thread's group from the latest Priority call —
+	// the pipeline's gate-attribution view (ClassifyingPolicy).
+	class []pipeline.GateClass
 	// variant name: "DWarn" or "DWarn-Prio".
 	name string
 }
@@ -78,6 +81,7 @@ func (p *DWarn) Attach(cpu *pipeline.CPU) {
 	p.gating = make([]int, cpu.NumThreads())
 	p.dmissBuf = make([]int, 0, cpu.NumThreads())
 	p.gatedBuf = make([]int, 0, cpu.NumThreads())
+	p.class = make([]pipeline.GateClass, cpu.NumThreads())
 }
 
 // Reset implements pipeline.FetchPolicy.
@@ -129,19 +133,28 @@ func (p *DWarn) Priority(now int64, dst []int) []int {
 		switch {
 		case p.gateActive() && p.gating[t] > 0:
 			gated = append(gated, t)
+			p.class[t] = pipeline.GateGated
 		case p.cpu.L1DMissInFlight(t) >= p.warn:
 			dmiss = append(dmiss, t)
+			p.class[t] = pipeline.GateDemoted
 		default:
 			normal = append(normal, t)
+			p.class[t] = pipeline.GateNormal
 		}
 	}
 	icountOrder(p.cpu, now, normal)
 	icountOrder(p.cpu, now, dmiss)
 	out := append(normal, dmiss...)
 	if len(out) == 0 && len(gated) > 0 {
-		// Keep one thread running, as the related policies do.
+		// Keep one thread running, as the related policies do. The
+		// thread stays classified gated: attribution charges the
+		// policy's decision, not the liveness escape hatch.
 		icountOrder(p.cpu, now, gated)
 		out = append(out, gated[0])
 	}
 	return out
 }
+
+// GateClass implements pipeline.ClassifyingPolicy: the thread's group
+// from the latest Priority call.
+func (p *DWarn) GateClass(t int) pipeline.GateClass { return p.class[t] }

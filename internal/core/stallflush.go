@@ -139,6 +139,16 @@ func (d *l2Detector) priority(now int64, dst []int) []int {
 	return free
 }
 
+// gateClass reports thread t's fetch-gate class: gated while any of
+// its loads is declared-but-unreturned, normal otherwise (the detector
+// has no demotion concept).
+func (d *l2Detector) gateClass(t int) pipeline.GateClass {
+	if d.blocking[t] > 0 {
+		return pipeline.GateGated
+	}
+	return pipeline.GateNormal
+}
+
 // STALL is Tullsen & Brown's stalling policy: once a load is declared an
 // L2 miss (latency threshold or DTLB miss), its thread stops fetching
 // until the 2-cycle advance return indication.
@@ -173,6 +183,9 @@ func (p *STALL) Tick(now int64) { p.det.tick(now) }
 
 // Priority implements pipeline.FetchPolicy.
 func (p *STALL) Priority(now int64, dst []int) []int { return p.det.priority(now, dst) }
+
+// GateClass implements pipeline.ClassifyingPolicy.
+func (p *STALL) GateClass(t int) pipeline.GateClass { return p.det.gateClass(t) }
 
 // OnLoadAccess implements pipeline.FetchPolicy.
 func (p *STALL) OnLoadAccess(inst *pipeline.DynInst, now int64) { p.det.onLoadAccess(inst, now) }
@@ -227,6 +240,9 @@ func (p *FLUSH) Tick(now int64) { p.det.tick(now) }
 
 // Priority implements pipeline.FetchPolicy.
 func (p *FLUSH) Priority(now int64, dst []int) []int { return p.det.priority(now, dst) }
+
+// GateClass implements pipeline.ClassifyingPolicy.
+func (p *FLUSH) GateClass(t int) pipeline.GateClass { return p.det.gateClass(t) }
 
 // OnLoadAccess implements pipeline.FetchPolicy.
 func (p *FLUSH) OnLoadAccess(inst *pipeline.DynInst, now int64) { p.det.onLoadAccess(inst, now) }

@@ -45,6 +45,12 @@ type Options struct {
 	// cells by state, per-policy cell wall-time histograms, and
 	// worker-pool utilization. See DESIGN.md §Observability.
 	Registry *obs.Registry
+	// Logger receives per-cell debug lines (nil = discard). Each line
+	// carries the request-scoped trace ID from the Execute context and
+	// the cell's span (a fingerprint prefix), so one X-Request-ID can
+	// be followed from the HTTP access log through the worker pool into
+	// the simulator's own run logs.
+	Logger *obs.Logger
 }
 
 // Cell event states, in the order a cell can report them. Every cell
@@ -124,6 +130,7 @@ type Executor struct {
 	run     RunFunc
 	sem     chan struct{}
 	met     *metrics
+	log     *obs.Logger
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -143,8 +150,12 @@ func New(opts Options) *Executor {
 		}
 	}
 	met := newMetrics(opts.Registry, opts.Workers)
+	if opts.Logger == nil {
+		opts.Logger = obs.Nop()
+	}
 	return &Executor{
 		workers: opts.Workers,
+		log:     opts.Logger,
 		// Every store access — the executor's own memoization and
 		// callers going through Store(), like the service's submit-time
 		// precheck — counts into the hit/miss/put series.
@@ -270,9 +281,26 @@ func (e *Executor) cell(ctx context.Context, c *spec.Resolved, started func()) (
 			started()
 		}
 		e.met.workersBusy.Inc()
+		// The cell's span is its fingerprint prefix: short enough to read
+		// in a log line, unique enough to match a cell within a sweep. The
+		// span rides the context into the run, so sim's own "sim run" line
+		// carries the same trace/span pair as the worker's lines here.
+		runCtx := obs.WithSpan(ctx, spanID(fp))
+		if e.log.Enabled(obs.LevelDebug) {
+			e.log.Debug("cell start",
+				"trace", obs.TraceID(ctx), "span", obs.SpanID(runCtx),
+				"policy", c.Spec.Policy.ID(), "workload", c.Spec.Workload.ID())
+		}
 		runStart := time.Now()
-		f.res, f.err = e.run(ctx, c)
-		e.met.cellSeconds(c.Spec.Policy.Name).Observe(time.Since(runStart).Seconds())
+		f.res, f.err = e.run(runCtx, c)
+		dur := time.Since(runStart)
+		e.met.cellSeconds(c.Spec.Policy.Name).Observe(dur.Seconds())
+		if e.log.Enabled(obs.LevelDebug) {
+			e.log.Debug("cell done",
+				"trace", obs.TraceID(ctx), "span", obs.SpanID(runCtx),
+				"policy", c.Spec.Policy.ID(), "workload", c.Spec.Workload.ID(),
+				"dur", dur.Round(time.Microsecond), "err", f.err)
+		}
 		e.met.workersBusy.Dec()
 		<-e.sem
 		if f.err == nil {
@@ -281,6 +309,15 @@ func (e *Executor) cell(ctx context.Context, c *spec.Resolved, started func()) (
 		e.settle(fp, f)
 		return f.res, false, f.err
 	}
+}
+
+// spanID derives a cell's span from its fingerprint: the first 12 hex
+// characters, matching the short form sweep status pages print.
+func spanID(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
 }
 
 // settle publishes a flight's outcome and retires it.

@@ -74,7 +74,7 @@ func (m *metrics) cellSeconds(policy string) *obs.Histogram {
 	if !ok {
 		h = m.reg.Histogram("dwarn_exec_cell_seconds",
 			"Wall time of one simulated sweep cell, by fetch policy.",
-			obs.RunBuckets, obs.L("policy", policy))
+			obs.CellBuckets, obs.L("policy", policy))
 		m.byPolicy[policy] = h
 	}
 	m.mu.Unlock()

@@ -7,6 +7,7 @@ var Experiments = []string{
 	"table2a", "fig1a", "fig1b", "fig2", "fig3", "table4",
 	"fig4", "fig5",
 	"ablate-threshold", "ablate-dg", "ablate-dwarn-warn", "ablate-hybrid",
+	"phases",
 }
 
 // Run executes one experiment by identifier, returning its tables.
@@ -46,6 +47,8 @@ func (r *Runner) Run(id string) ([]*Table, error) {
 	case "ablate-hybrid":
 		t, err := r.AblateDWarnHybrid()
 		return wrap(t, err)
+	case "phases":
+		return r.Phases()
 	}
 	return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, Experiments)
 }

@@ -227,7 +227,7 @@ func TestTable4Smoke(t *testing.T) {
 }
 
 func TestExperimentListComplete(t *testing.T) {
-	if len(Experiments) != 12 {
+	if len(Experiments) != 13 {
 		t.Errorf("%d experiments registered", len(Experiments))
 	}
 }

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"dwarn/internal/sim"
+	"dwarn/internal/timeline"
+	"dwarn/internal/workload"
+)
+
+// Phases renders the phase-analysis tables behind the timeline layer:
+// DWarn vs ICOUNT over one MIX workload, one row per sampled interval
+// with aggregate IPC and the fraction of thread-cycles each fetch-gate
+// decision class absorbed. Where the paper's figures compare end-of-run
+// totals, this view shows *when* DWarn demotes and gates — the
+// per-interval signal the ROADMAP's adaptive-policy work needs.
+//
+// The runs execute the simulator directly rather than through the
+// runner's memoizing store: timeline frames are non-semantic (they
+// never change a fingerprint), so a store hit could legitimately return
+// a frame-less result computed by an earlier experiment.
+func (r *Runner) Phases() ([]*Table, error) {
+	const wlName = "4-MIX"
+	wl, err := workload.GetWorkload(wlName)
+	if err != nil {
+		return nil, err
+	}
+	// Ten intervals across the measured window keeps the table readable
+	// at any -measure length.
+	interval := r.cfg.MeasureCycles / 10
+	if interval < 1_000 {
+		interval = 1_000
+	}
+
+	var tables []*Table
+	for _, policy := range []string{"dwarn", "icount"} {
+		res, err := sim.Run(sim.Options{
+			Policy:        policy,
+			Workload:      wl,
+			Seed:          r.cfg.Seed,
+			WarmupCycles:  r.cfg.WarmupCycles,
+			MeasureCycles: r.cfg.MeasureCycles,
+			Timeline:      &timeline.Config{IntervalCycles: interval},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, phaseTable(policy, wlName, res))
+	}
+	return tables, nil
+}
+
+// phaseTable renders one run's frames: per interval, aggregate IPC and
+// the share of thread-cycles spent in each gate class.
+func phaseTable(policy, wl string, res *sim.Result) *Table {
+	t := &Table{
+		ID:     "phases-" + policy,
+		Title:  fmt.Sprintf("per-interval phase analysis: %s on %s (%d cycles/interval)", policy, wl, res.Timeline.IntervalCycles),
+		Header: []string{"cycles", "ipc", "committed", "l2_misses", "normal%", "demoted%", "gated%"},
+		Notes: []string{
+			"gate classes attribute each thread-cycle to the policy's fetch decision: " +
+				"normal (competing freely), demoted (deprioritized), gated (excluded from fetch)",
+		},
+	}
+	for i := range res.Timeline.Frames {
+		f := &res.Timeline.Frames[i]
+		var l2, normal, demoted, gated, total uint64
+		for j := range f.Threads {
+			tf := &f.Threads[j]
+			l2 += tf.LoadL2Misses
+			normal += tf.GateNormalCycles
+			demoted += tf.GateDemotedCycles
+			gated += tf.GateGatedCycles
+		}
+		total = normal + demoted + gated
+		frac := func(v uint64) string {
+			if total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(v)/float64(total))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-%d", f.StartCycle, f.EndCycle),
+			cell(f.IPC()),
+			fmt.Sprintf("%d", f.Committed()),
+			fmt.Sprintf("%d", l2),
+			frac(normal), frac(demoted), frac(gated),
+		})
+	}
+	return t
+}

@@ -94,6 +94,14 @@ var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 // cell or run at the repo's default protocols lands mid-range.
 var RunBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}
 
+// CellBuckets covers one sweep cell's wall time, tuned to observed
+// durations (BENCH_sweep.json: ~8ms/cell at the default protocol):
+// fine-grained 1–32ms where the distribution actually lives, then
+// doubling out to 4s for long-protocol cells, so per-policy latency
+// shifts show up as bucket movement instead of all cells piling into
+// one coarse bucket.
+var CellBuckets = []float64{.001, .002, .004, .006, .008, .012, .016, .024, .032, .064, .125, .25, .5, 1, 2, 4}
+
 // Observe records one value. Alloc-free and lock-free: a linear scan
 // over the (small, fixed) bound slice plus three atomic updates.
 func (h *Histogram) Observe(v float64) {

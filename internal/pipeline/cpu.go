@@ -68,6 +68,18 @@ type CPU struct {
 	// lastCommitAt backs the livelock detector.
 	lastCommitAt int64
 
+	// Observability counters kept outside ThreadStats: ThreadStats
+	// feeds the golden counter digests, so telemetry-only counters live
+	// here. issued counts instructions launched into execution per
+	// thread; gateCycles attributes each cycle's fetch-gate decision
+	// class per thread, filled only while gate sampling is enabled
+	// (timeline runs) via the policy's ClassifyingPolicy view when it
+	// has one.
+	issued       []uint64
+	gateCycles   [][NumGateClasses]uint64
+	gateSampling bool
+	classifier   ClassifyingPolicy
+
 	// Stats for the current measurement interval.
 	Stats CPUStats
 }
@@ -139,6 +151,8 @@ func New(cfg *config.Processor, policy FetchPolicy, srcs []workload.Source) (*CP
 	for p := int32(n * isa.NumFPRegs); p < int32(cfg.PhysFPRegs); p++ {
 		c.fpFree = append(c.fpFree, p)
 	}
+	c.issued = make([]uint64, n)
+	c.gateCycles = make([][NumGateClasses]uint64, n)
 
 	policy.Attach(c)
 	return c, nil
@@ -181,6 +195,26 @@ func (c *CPU) ROBOccupancy(t int) int { return c.threads[t].rob.len() }
 // measurement interval.
 func (c *CPU) ThreadStats(t int) ThreadStats { return c.threads[t].stats }
 
+// IssuedUops returns thread t's instructions launched into execution
+// during the current measurement interval. Kept outside ThreadStats so
+// the golden counter digests (which hash ThreadStats verbatim) are
+// unchanged by telemetry.
+func (c *CPU) IssuedUops(t int) uint64 { return c.issued[t] }
+
+// EnableGateSampling turns on per-cycle fetch-gate attribution: from
+// now on each cycle charges every thread's GateCycles bucket with the
+// policy's decision class. Off by default so runs without timeline
+// sampling pay nothing for it.
+func (c *CPU) EnableGateSampling() {
+	c.gateSampling = true
+	c.classifier, _ = c.policy.(ClassifyingPolicy)
+}
+
+// GateCycles returns thread t's cycles-per-gate-class counters for the
+// current measurement interval (all zero unless EnableGateSampling was
+// called).
+func (c *CPU) GateCycles(t int) [NumGateClasses]uint64 { return c.gateCycles[t] }
+
 // ResetStats zeroes all measurement counters (pipeline, memory,
 // predictor) while preserving microarchitectural state, so measurement
 // starts from a warmed-up machine.
@@ -188,6 +222,10 @@ func (c *CPU) ResetStats() {
 	c.Stats = CPUStats{}
 	for _, t := range c.threads {
 		t.stats = ThreadStats{}
+	}
+	for i := range c.issued {
+		c.issued[i] = 0
+		c.gateCycles[i] = [NumGateClasses]uint64{}
 	}
 	c.mem.ResetStats()
 	for i := range c.bp.Stats {

@@ -60,6 +60,47 @@ type FetchPolicy interface {
 	Reset()
 }
 
+// GateClass is the fetch-gate treatment a policy applied to one thread
+// for one cycle — the decision the timeline's gate attribution charges
+// cycles to.
+type GateClass uint8
+
+const (
+	// GateNormal: listed at full priority.
+	GateNormal GateClass = iota
+	// GateDemoted: listed, but behind the normal group (DWarn's Dmiss
+	// group).
+	GateDemoted
+	// GateGated: withheld from fetch (including a gated thread kept
+	// running only by the keep-one-thread rule).
+	GateGated
+	// NumGateClasses sizes per-class counter arrays.
+	NumGateClasses
+)
+
+// String returns the class's lowercase name.
+func (g GateClass) String() string {
+	switch g {
+	case GateNormal:
+		return "normal"
+	case GateDemoted:
+		return "demoted"
+	case GateGated:
+		return "gated"
+	}
+	return "unknown"
+}
+
+// ClassifyingPolicy is optionally implemented by policies that can
+// attribute each thread's fetch-gate decision class. GateClass reports
+// thread t's class as of the latest Priority call; the pipeline reads
+// it immediately after Priority each cycle while gate sampling is
+// enabled. Policies without it fall back to the pipeline's structural
+// view: listed threads are normal, omitted threads are gated.
+type ClassifyingPolicy interface {
+	GateClass(t int) GateClass
+}
+
 // ParameterizedPolicy is optionally implemented by policies whose
 // behaviour is tuned by parameters Name() does not encode (declaration
 // thresholds, gate counts). Params returns a stable, human-readable

@@ -237,6 +237,7 @@ func (c *CPU) issue(now int64) {
 func (c *CPU) issueOne(d *DynInst, now int64) {
 	d.state = stExecuting
 	c.threads[d.Thread].inQueues--
+	c.issued[d.Thread]++
 
 	switch d.U.Class {
 	case isa.IntALU:
@@ -399,6 +400,9 @@ func (c *CPU) fetch(now int64) {
 			c.dispatchOrder = append(c.dispatchOrder, t)
 		}
 	}
+	if c.gateSampling {
+		c.attributeGates(seen)
+	}
 
 	slots := c.cfg.FetchWidth
 	threadsUsed := 0
@@ -422,6 +426,24 @@ func (c *CPU) fetch(now int64) {
 		threadsUsed++
 		t.stats.FetchCycles++
 		slots -= c.fetchFrom(t, slots, now)
+	}
+}
+
+// attributeGates charges this cycle to each thread's fetch-gate
+// decision class — the policy's own classification when it exposes
+// one, otherwise the structural view of the priority list (listed =
+// normal, omitted = gated). Called only while gate sampling is
+// enabled; it allocates nothing.
+func (c *CPU) attributeGates(seen int) {
+	for t := range c.threads {
+		cls := GateNormal
+		switch {
+		case c.classifier != nil:
+			cls = c.classifier.GateClass(t)
+		case seen&(1<<t) == 0:
+			cls = GateGated
+		}
+		c.gateCycles[t][cls]++
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
+	"dwarn/internal/timeline"
 )
 
 // SimulationRequest is the body of POST /v1/simulations: one machine ×
@@ -196,23 +197,32 @@ type SweepStatus struct {
 	Cells []SweepCell `json:"cells"`
 }
 
+// SweepEventFrame is the State of a live timeline interval event on the
+// sweep SSE stream (sent as SSE event name "frame"); all other states
+// are per-cell transitions (SSE event name "cell").
+const SweepEventFrame = "frame"
+
 // SweepEvent is one frame of the GET /v2/sweeps/{id}/events SSE stream:
-// a per-cell state transition plus a progress snapshot. The stream
-// replays a sweep's full event history from the start, then follows
-// live until the sweep is terminal, where a final "end" event carries
-// the finished SweepStatus.
+// a per-cell state transition plus a progress snapshot, or — for cells
+// whose spec requested timeline sampling — a live interval frame as it
+// closes inside the running simulation. The stream replays a sweep's
+// full event history from the start, then follows live until the sweep
+// is terminal, where a final "end" event carries the finished
+// SweepStatus.
 type SweepEvent struct {
 	// Seq numbers events from 0 within the sweep.
 	Seq int `json:"seq"`
 	// Index is the cell's position in SweepStatus.Cells.
 	Index int `json:"index"`
 	// Fingerprint and State identify the transition (exec cell states:
-	// started, done, cached, failed, canceled).
+	// started, done, cached, failed, canceled — or "frame").
 	Fingerprint string `json:"fingerprint"`
 	State       string `json:"state"`
 	// Throughput is set on done/cached transitions.
 	Throughput *float64 `json:"throughput,omitempty"`
 	Error      string   `json:"error,omitempty"`
+	// Frame is the interval frame of a "frame" event.
+	Frame *timeline.Frame `json:"frame,omitempty"`
 	// Progress snapshot after this event.
 	Done     int `json:"done"`
 	Failed   int `json:"failed"`

@@ -80,9 +80,32 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// requestID picks the request's trace ID: a sane inbound X-Request-ID
+// (callers correlating across services supply their own), else a fresh
+// sequence ID. Sane means short and printable-ASCII with no spaces —
+// anything else would pollute log lines and response headers.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && saneID(id) {
+		return id
+	}
+	return "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+}
+
+func saneID(id string) bool {
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}
+
 // obsHandler wraps the mux with per-request metrics and structured
 // access logs. The route label is the mux's registered pattern (bounded
-// cardinality), never the raw URL.
+// cardinality), never the raw URL. The request ID doubles as the trace
+// ID: it rides the request context (with the server's logger) into
+// handlers, job closures, exec cells, and ultimately the sim run — one
+// ID from HTTP accept to cycle loop.
 func (s *Server) obsHandler() http.Handler {
 	const reqHelp = "HTTP requests by route pattern and status code."
 	const latHelp = "HTTP request latency by route pattern."
@@ -91,8 +114,9 @@ func (s *Server) obsHandler() http.Handler {
 		if route == "" {
 			route = "unmatched"
 		}
-		id := "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		id := s.requestID(r)
 		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithLogger(obs.WithTrace(r.Context(), id), s.log))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		s.mux.ServeHTTP(sw, r)

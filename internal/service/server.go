@@ -14,8 +14,10 @@ import (
 	"dwarn/internal/core"
 	"dwarn/internal/exec"
 	"dwarn/internal/obs"
+	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
+	"dwarn/internal/timeline"
 	"dwarn/internal/workload"
 )
 
@@ -174,6 +176,20 @@ func New(opts Options) *Server {
 		Workers:  opts.Workers,
 		Store:    cacheStore{c: s.cache},
 		Registry: s.reg,
+		Logger:   s.log,
+		// The Run seam exists so sweeps can stream interval frames live:
+		// when the executing context carries a frame sink (attached per
+		// sweep in submitSweep) and the cell's spec requested timeline
+		// sampling, each closing frame is forwarded as it happens instead
+		// of waiting for the cell's result.
+		Run: func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+			opts := res.Options
+			if sink := frameSinkFrom(ctx); sink != nil && opts.Timeline != nil {
+				fp := res.Fingerprint
+				opts.OnFrame = func(f *timeline.Frame) { sink(fp, f) }
+			}
+			return sim.RunContext(ctx, opts)
+		},
 	})
 	s.registerGauges()
 	s.routes()
@@ -365,8 +381,11 @@ func (s *Server) runSimWithBaselines(ctx context.Context, res *spec.Resolved) (j
 
 // submitResolved either completes the run instantly from the cache or
 // enqueues it. record is echoed in job status responses: the original
-// request for v1 submissions, the canonical spec for v2.
-func (s *Server) submitResolved(res *spec.Resolved, record any) (JobView, error) {
+// request for v1 submissions, the canonical spec for v2. ctx is the
+// submitting request's context: its trace ID and logger are re-attached
+// to the job's own (queue-lifetime) context so the run executes under
+// the trace of the request that submitted it.
+func (s *Server) submitResolved(ctx context.Context, res *spec.Resolved, record any) (JobView, error) {
 	key := simKey(res.Fingerprint)
 	run := s.runSim
 	if res.Spec.Baselines {
@@ -387,8 +406,9 @@ func (s *Server) submitResolved(res *spec.Resolved, record any) (JobView, error)
 		return v, nil
 	}
 
-	j, err := s.mgr.Submit("sim", record, func(ctx context.Context) (json.RawMessage, bool, error) {
-		return run(ctx, res)
+	trace := obs.TraceID(ctx)
+	j, err := s.mgr.Submit("sim", record, func(jobCtx context.Context) (json.RawMessage, bool, error) {
+		return run(obs.WithLogger(obs.WithTrace(jobCtx, trace), s.log), res)
 	})
 	if err != nil {
 		return JobView{}, err
@@ -398,12 +418,12 @@ func (s *Server) submitResolved(res *spec.Resolved, record any) (JobView, error)
 }
 
 // submitSpecJob resolves and submits one spec.
-func (s *Server) submitSpecJob(rs spec.RunSpec, record any) (JobView, *spec.Resolved, error) {
+func (s *Server) submitSpecJob(ctx context.Context, rs spec.RunSpec, record any) (JobView, *spec.Resolved, error) {
 	res, err := s.resolveSpec(rs)
 	if err != nil {
 		return JobView{}, nil, err
 	}
-	v, err := s.submitResolved(res, record)
+	v, err := s.submitResolved(ctx, res, record)
 	return v, res, err
 }
 
@@ -471,7 +491,7 @@ func (s *Server) handleSubmitSimulation(w http.ResponseWriter, r *http.Request) 
 	if !s.decode(w, r, &req) {
 		return
 	}
-	v, _, err := s.submitSpecJob(req.Spec(), req)
+	v, _, err := s.submitSpecJob(r.Context(), req.Spec(), req)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
 			submitError(w, err)
@@ -569,5 +589,5 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submitSweep(w, cells)
+	s.submitSweep(w, r, cells)
 }

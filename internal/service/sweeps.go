@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"dwarn/internal/exec"
+	"dwarn/internal/obs"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
 	"dwarn/internal/stats"
+	"dwarn/internal/timeline"
 )
 
 // Sweeps execute through the shared execution layer (internal/exec),
@@ -87,11 +89,12 @@ type sweep struct {
 	solos       []sweepCell
 	soloFor     []map[string]string // per public cell: benchmark → solo fingerprint
 
-	progress []cellProgress
-	events   []SweepEvent
-	waiters  []chan struct{} // SSE streams blocked until the next event
-	state    string          // StateRunning until terminal
-	cancel   context.CancelFunc
+	progress    []cellProgress
+	events      []SweepEvent
+	frameEvents int             // timeline frame events retained so far
+	waiters     []chan struct{} // SSE streams blocked until the next event
+	state       string          // StateRunning until terminal
+	cancel      context.CancelFunc
 }
 
 // terminal reports whether the sweep has finished (all cells terminal
@@ -123,10 +126,66 @@ func soloBaselines(res *spec.Resolved) (map[string]string, []sweepCell, error) {
 	return solos, cells, nil
 }
 
+// maxSweepFrameEvents bounds the timeline frame events one sweep's
+// event log retains: frames are a live-streaming convenience (the full
+// timeline stays available per run), so past the bound further frames
+// are dropped rather than growing a long sweep's record unboundedly.
+const maxSweepFrameEvents = 4096
+
+// frameSink receives one live interval frame from a cell identified by
+// its fingerprint. Attached to a sweep's execution context, read by the
+// server's exec RunFunc.
+type frameSink func(fp string, f *timeline.Frame)
+
+type frameSinkKey struct{}
+
+func withFrameSink(ctx context.Context, fn frameSink) context.Context {
+	return context.WithValue(ctx, frameSinkKey{}, fn)
+}
+
+func frameSinkFrom(ctx context.Context) frameSink {
+	fn, _ := ctx.Value(frameSinkKey{}).(frameSink)
+	return fn
+}
+
+// sweepFrameSink folds live interval frames into the sweep's event log
+// as "frame" events, waking SSE streams. The frame's Threads slice is
+// the sampler's ring storage, reused after the ring wraps — it is
+// deep-copied before the event escapes the callback.
+func (s *Server) sweepFrameSink(sw *sweep, fpIndex map[string]int) frameSink {
+	return func(fp string, f *timeline.Frame) {
+		idx, ok := fpIndex[fp]
+		if !ok {
+			return // hidden solo baseline cell
+		}
+		cp := *f
+		cp.Threads = append([]timeline.ThreadFrame(nil), f.Threads...)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if sw.frameEvents >= maxSweepFrameEvents {
+			return
+		}
+		sw.frameEvents++
+		sw.events = append(sw.events, SweepEvent{
+			Seq:         len(sw.events),
+			Index:       idx,
+			Fingerprint: fp,
+			State:       SweepEventFrame,
+			Frame:       &cp,
+			Total:       len(sw.cells),
+		})
+		s.wakeSweepLocked(sw)
+	}
+}
+
 // submitSweep registers resolved cells, completes what the store
 // already holds, fans the remainder into the shared executor, and
-// writes the initial status snapshot to w.
-func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
+// writes the initial status snapshot to w. The submitting request's
+// trace ID is captured here and re-attached to the sweep's own
+// (server-lifetime) execution context, so every cell the sweep pays
+// for — and the sim runs underneath — logs under the submit trace.
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []sweepCell) {
+	trace := obs.TraceID(r.Context())
 	// Resolve the hidden baseline cells before taking any locks.
 	soloFor := make([]map[string]string, len(cells))
 	var solos []sweepCell
@@ -233,21 +292,35 @@ func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
 		// would stay registered on the server-lifetime parent forever
 		// (DELETE refuses terminal sweeps, so nothing else frees it).
 		cancel()
-		s.log.Info("sweep cached", "sweep", sw.id, "cells", len(cells), "solos", len(solos))
+		s.log.Info("sweep cached", "trace", trace, "sweep", sw.id, "cells", len(cells), "solos", len(solos))
 		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
 	s.sweepWG.Add(1)
 	st := s.sweepStatusLocked(sw)
 	s.mu.Unlock()
-	s.log.Info("sweep submitted", "sweep", sw.id,
+	s.log.Info("sweep submitted", "trace", trace, "sweep", sw.id,
 		"cells", len(cells), "solos", len(solos), "pending", len(pending))
+
+	// First public cell per fingerprint, for routing live frames back to
+	// a cell index (duplicate cells share one simulation anyway).
+	fpIndex := make(map[string]int, len(cells))
+	for i, c := range cells {
+		if _, ok := fpIndex[c.resolved.Fingerprint]; !ok {
+			fpIndex[c.resolved.Fingerprint] = i
+		}
+	}
+	// The sweep context derives from the server lifetime, not the
+	// submitting request (the sweep outlives the HTTP exchange) — so the
+	// request's trace, the server's logger, and the frame sink are
+	// re-attached here explicitly.
+	runCtx := withFrameSink(obs.WithLogger(obs.WithTrace(ctx, trace), s.log), s.sweepFrameSink(sw, fpIndex))
 
 	go func() {
 		defer s.sweepWG.Done()
 		defer cancel()
 		start := time.Now()
-		results := s.exec.Execute(ctx, pending, func(ev exec.Event) {
+		results := s.exec.Execute(runCtx, pending, func(ev exec.Event) {
 			s.mu.Lock()
 			s.cellEventLocked(sw, pendingIdx[ev.Index], ev)
 			s.mu.Unlock()
@@ -264,7 +337,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, cells []sweepCell) {
 		s.finishSweepLocked(sw, resByFp, errByFp)
 		state := sw.state
 		s.mu.Unlock()
-		s.log.Info("sweep finished", "sweep", sw.id, "state", state,
+		s.log.Info("sweep finished", "trace", trace, "sweep", sw.id, "state", state,
 			"cells", len(cells), "dur", time.Since(start).Round(time.Millisecond))
 	}()
 
@@ -536,7 +609,11 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 
 		for _, ev := range pending {
-			if err := writeSSE(w, "cell", ev); err != nil {
+			name := "cell"
+			if ev.State == SweepEventFrame {
+				name = "frame"
+			}
+			if err := writeSSE(w, name, ev); err != nil {
 				return
 			}
 			next++

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -35,6 +36,7 @@ func (s *Server) routesV2() {
 	s.mux.HandleFunc("POST /v2/runs", s.handleSubmitRunV2)
 	s.mux.HandleFunc("GET /v2/runs", s.handleListSimulations)
 	s.mux.HandleFunc("GET /v2/runs/{id}", s.handleGetSimulation)
+	s.mux.HandleFunc("GET /v2/runs/{id}/timeline", s.handleRunTimeline)
 	s.mux.HandleFunc("DELETE /v2/runs/{id}", s.handleCancelSimulation)
 	s.mux.HandleFunc("POST /v2/sweeps", s.handleSubmitSweepV2)
 	s.mux.HandleFunc("GET /v2/sweeps/{id}", s.handleGetSweep)
@@ -74,12 +76,44 @@ func (s *Server) handleSubmitRunV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.submitResolved(res, res.Spec)
+	v, err := s.submitResolved(r.Context(), res, res.Spec)
 	if err != nil {
 		submitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, RunAccepted{JobView: v, Fingerprint: res.Fingerprint, Canonical: &res.Spec})
+}
+
+// handleRunTimeline returns a finished run's interval frames. Timeline
+// sampling is non-semantic (it never changes a run's fingerprint), so a
+// run whose result was served from a cache entry computed without
+// sampling legitimately has no frames — that case is a 404 naming the
+// cause, not an empty timeline.
+func (s *Server) handleRunTimeline(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		return
+	}
+	if v.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: job %q is %s, not done", v.ID, v.State))
+		return
+	}
+	sr, err := decodeSim(v.Result)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if sr.Result == nil || sr.Result.Timeline == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf(
+			"service: run %q has no timeline: the spec did not request sampling, or the result was served from a cache entry computed without it", v.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":          v.ID,
+		"fingerprint": sr.Fingerprint,
+		"timeline":    sr.Result.Timeline,
+	})
 }
 
 // Preload expands a spec file and submits every cell, warming the
@@ -107,7 +141,7 @@ func (s *Server) Preload(f *spec.File) ([]JobView, error) {
 	}
 	views := make([]JobView, 0, len(resolved))
 	for _, res := range resolved {
-		v, err := s.submitResolved(res, res.Spec)
+		v, err := s.submitResolved(context.Background(), res, res.Spec)
 		if err != nil {
 			if errors.Is(err, ErrQueueFull) {
 				return views, fmt.Errorf("%w after %d of %d runs", err, len(views), len(resolved))
@@ -132,5 +166,5 @@ func (s *Server) handleSubmitSweepV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submitSweep(w, cells)
+	s.submitSweep(w, r, cells)
 }

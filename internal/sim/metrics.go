@@ -24,10 +24,20 @@ var runMetrics struct {
 	cyclesSec *obs.Gauge
 	uopsSec   *obs.Gauge
 
+	frames      func(policy string) *obs.Counter
+	gateCycles  func(policy, class string) *obs.Counter
+	intervalIPC func(policy string) *obs.Histogram
+
 	mu        sync.Mutex
 	byPolicyC map[string]*obs.Counter
 	byPolicyH map[string]*obs.Histogram
+	byKeyC    map[string]*obs.Counter
+	byKeyH    map[string]*obs.Histogram
 }
+
+// ipcBuckets covers per-interval aggregate IPC on the repo's machines
+// (an 8-wide fetch engine commits 0–6 uops/cycle in practice).
+var ipcBuckets = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 2.5, 3, 3.5, 4, 5, 6}
 
 func initRunMetrics() {
 	r := obs.Default
@@ -50,6 +60,40 @@ func initRunMetrics() {
 		if !ok {
 			h = r.Histogram("dwarn_sim_run_seconds", "Wall time of one complete simulation (warmup + measurement), by fetch policy.", obs.RunBuckets, obs.L("policy", policy))
 			runMetrics.byPolicyH[policy] = h
+		}
+		return h
+	}
+	runMetrics.byKeyC = make(map[string]*obs.Counter)
+	runMetrics.byKeyH = make(map[string]*obs.Histogram)
+	runMetrics.frames = func(policy string) *obs.Counter {
+		runMetrics.mu.Lock()
+		defer runMetrics.mu.Unlock()
+		key := "f|" + policy
+		c, ok := runMetrics.byKeyC[key]
+		if !ok {
+			c = r.Counter("dwarn_timeline_frames_total", "Timeline interval frames sampled, by fetch policy.", obs.L("policy", policy))
+			runMetrics.byKeyC[key] = c
+		}
+		return c
+	}
+	runMetrics.gateCycles = func(policy, class string) *obs.Counter {
+		runMetrics.mu.Lock()
+		defer runMetrics.mu.Unlock()
+		key := "g|" + policy + "|" + class
+		c, ok := runMetrics.byKeyC[key]
+		if !ok {
+			c = r.Counter("dwarn_timeline_gate_cycles_total", "Thread-cycles attributed to each fetch-gate decision class over sampled intervals.", obs.L("policy", policy), obs.L("class", class))
+			runMetrics.byKeyC[key] = c
+		}
+		return c
+	}
+	runMetrics.intervalIPC = func(policy string) *obs.Histogram {
+		runMetrics.mu.Lock()
+		defer runMetrics.mu.Unlock()
+		h, ok := runMetrics.byKeyH[policy]
+		if !ok {
+			h = r.Histogram("dwarn_timeline_interval_ipc", "Aggregate committed IPC of each sampled interval, by fetch policy.", ipcBuckets, obs.L("policy", policy))
+			runMetrics.byKeyH[policy] = h
 		}
 		return h
 	}
@@ -77,6 +121,30 @@ func recordRun(res *Result, warmup int64, elapsed time.Duration) {
 		runMetrics.cyclesSec.Set(float64(cycles) / s)
 		runMetrics.uopsSec.Set(float64(committed) / s)
 	}
+}
+
+// recordTimeline folds one run's interval frames into the per-interval
+// series: frame count, interval-IPC distribution, and thread-cycles by
+// gate decision class — the aggregate view of the same attribution the
+// frames carry per interval. Cold path, once per sampled run.
+func recordTimeline(res *Result) {
+	runMetrics.once.Do(initRunMetrics)
+	policy := res.Policy
+	tl := res.Timeline
+	runMetrics.frames(policy).Add(uint64(len(tl.Frames)))
+	var normal, demoted, gated uint64
+	for i := range tl.Frames {
+		f := &tl.Frames[i]
+		runMetrics.intervalIPC(policy).Observe(f.IPC())
+		for j := range f.Threads {
+			normal += f.Threads[j].GateNormalCycles
+			demoted += f.Threads[j].GateDemotedCycles
+			gated += f.Threads[j].GateGatedCycles
+		}
+	}
+	runMetrics.gateCycles(policy, "normal").Add(normal)
+	runMetrics.gateCycles(policy, "demoted").Add(demoted)
+	runMetrics.gateCycles(policy, "gated").Add(gated)
 }
 
 // recordRunError counts a failed simulation.

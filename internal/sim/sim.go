@@ -13,7 +13,9 @@ import (
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/mem/hierarchy"
+	"dwarn/internal/obs"
 	"dwarn/internal/pipeline"
+	"dwarn/internal/timeline"
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
@@ -57,6 +59,18 @@ type Options struct {
 	// take the defaults (20k warmup, 100k measured).
 	WarmupCycles  int64
 	MeasureCycles int64
+	// Timeline, when non-nil, samples per-thread interval frames during
+	// the measured window into Result.Timeline. A metrics option, not a
+	// different simulation: sampling is observation only (counters and
+	// the content-addressed fingerprint are bit-identical with it on or
+	// off).
+	Timeline *timeline.Config
+	// OnFrame, when set alongside Timeline, receives each interval
+	// frame as it closes — the live-streaming seam (dwarnd's SSE frame
+	// events). The frame's Threads slice is ring storage reused after
+	// Timeline.MaxFrames further samples; consume or copy it before
+	// returning.
+	OnFrame func(*timeline.Frame)
 }
 
 // Default run lengths: long enough that IPCs are stable to within a few
@@ -94,6 +108,12 @@ type Result struct {
 	Threads []ThreadResult
 	// Throughput is the sum of per-thread IPCs.
 	Throughput float64
+	// Timeline holds the per-interval frames when Options.Timeline
+	// requested sampling; nil otherwise (including results computed by
+	// a run that did not sample — timeline is non-semantic, so caches
+	// may legitimately hold frame-less results for the same
+	// fingerprint).
+	Timeline *timeline.Timeline `json:",omitempty"`
 }
 
 // IPCs returns the per-thread IPC vector.
@@ -165,6 +185,18 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		warmup = DefaultWarmupCycles
 	}
 	recordRun(res, warmup, time.Since(start))
+	if res.Timeline != nil {
+		recordTimeline(res)
+	}
+	// The request-scoped trace (when a frontend attached one) reaches
+	// its innermost hop here: the run that did the simulated work.
+	if log := obs.LoggerFrom(ctx); log.Enabled(obs.LevelDebug) {
+		log.Debug("sim run",
+			"trace", obs.TraceID(ctx), "span", obs.SpanID(ctx),
+			"policy", res.Policy, "workload", res.Workload, "machine", res.Machine,
+			"cycles", res.Cycles, "throughput", res.Throughput,
+			"dur", time.Since(start).Round(time.Microsecond))
+	}
 	return res, nil
 }
 
@@ -222,12 +254,22 @@ func runContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	var sampler *timeline.Sampler
+	if opts.Timeline != nil {
+		sampler = timeline.NewSampler(*opts.Timeline, cpu.NumThreads())
+		cpu.EnableGateSampling()
+	}
+
 	prewarm(cpu, srcs)
 	if err := runCycles(ctx, cpu, warmup); err != nil {
 		return nil, err
 	}
 	cpu.ResetStats()
-	if err := runCycles(ctx, cpu, measure); err != nil {
+	if sampler == nil {
+		if err := runCycles(ctx, cpu, measure); err != nil {
+			return nil, err
+		}
+	} else if err := runSampled(ctx, cpu, measure, sampler, opts.OnFrame); err != nil {
 		return nil, err
 	}
 
@@ -249,7 +291,34 @@ func runContext(ctx context.Context, opts Options) (*Result, error) {
 		}
 		res.Throughput += res.Threads[i].IPC
 	}
+	if sampler != nil {
+		res.Timeline = sampler.Timeline()
+	}
 	return res, nil
+}
+
+// runSampled is the measured cycle loop with timeline sampling: it
+// advances the CPU in interval-sized chunks (each internally split at
+// the cancellation-check granularity, so the Step sequence is
+// identical to the unsampled loop) and closes one frame per boundary.
+// A trailing partial interval gets a final short frame.
+func runSampled(ctx context.Context, cpu *pipeline.CPU, n int64, s *timeline.Sampler, onFrame func(*timeline.Frame)) error {
+	interval := s.IntervalCycles()
+	for done := int64(0); done < n; {
+		chunk := interval
+		if rem := n - done; rem < chunk {
+			chunk = rem
+		}
+		if err := runCycles(ctx, cpu, chunk); err != nil {
+			return err
+		}
+		f := s.Sample(cpu, done, done+chunk)
+		if onFrame != nil {
+			onFrame(f)
+		}
+		done += chunk
+	}
+	return nil
 }
 
 // SoloWorkload wraps a single benchmark as a one-thread workload (used

@@ -20,6 +20,7 @@ import (
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/sim"
+	"dwarn/internal/timeline"
 	"dwarn/internal/trace"
 	"dwarn/internal/workload"
 )
@@ -223,6 +224,24 @@ type RunSpec struct {
 	// reports relative-IPC metrics. A metrics flag, not a different
 	// simulation: it does not change the fingerprint.
 	Baselines bool `json:"baselines,omitempty"`
+	// Timeline requests per-interval timeline sampling during the
+	// measured window. Like Baselines it is a metrics option, not a
+	// different simulation: sampling is observation only and never
+	// changes the fingerprint, so a timeline run and its plain twin
+	// share one cache identity (a cached result may therefore lack
+	// frames).
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
+}
+
+// TimelineSpec is the spec form of timeline.Config: the sampling
+// interval and frame-ring bound, both defaulted when zero. Presence of
+// the object enables sampling.
+type TimelineSpec struct {
+	// IntervalCycles is the sampling period (0 = 10k cycles).
+	IntervalCycles int64 `json:"interval_cycles,omitempty"`
+	// MaxFrames bounds retained frames; the oldest are dropped beyond
+	// it (0 = 1024).
+	MaxFrames int `json:"max_frames,omitempty"`
 }
 
 // Validate performs every check that needs no trace resolver: schema
@@ -286,6 +305,9 @@ func (s *RunSpec) resolve(r TraceResolver, static bool) (*Resolved, error) {
 	if s.WarmupCycles < 0 || s.MeasureCycles < 0 {
 		return nil, fmt.Errorf("spec: cycle counts must be non-negative")
 	}
+	if s.Timeline != nil && (s.Timeline.IntervalCycles < 0 || s.Timeline.MaxFrames < 0) {
+		return nil, fmt.Errorf("spec: timeline interval and max_frames must be non-negative")
+	}
 	if s.Baselines && s.Workload.Trace != "" {
 		// Relative-IPC baselines re-run each benchmark solo through the
 		// synthetic generators, which a trace run replaces.
@@ -337,6 +359,15 @@ func (s *RunSpec) resolve(r TraceResolver, static bool) (*Resolved, error) {
 		Seed:          seed,
 		WarmupCycles:  warmup,
 		MeasureCycles: measure,
+	}
+	if s.Timeline != nil {
+		// Canonical forms carry the defaulted values so equal requests
+		// canonicalize identically; the fingerprint ignores Timeline
+		// entirely (sim.Fingerprint hashes only outcome-determining
+		// fields).
+		tc := timeline.Config{IntervalCycles: s.Timeline.IntervalCycles, MaxFrames: s.Timeline.MaxFrames}.WithDefaults()
+		canonical.Timeline = &TimelineSpec{IntervalCycles: tc.IntervalCycles, MaxFrames: tc.MaxFrames}
+		opts.Timeline = &tc
 	}
 	if tr != nil {
 		if len(tr.Threads) > cfg.HardwareContexts {

@@ -93,6 +93,9 @@ type SweepSpec struct {
 	MeasureCycles int64 `json:"measure_cycles,omitempty"`
 	// Baselines adds relative-IPC metrics to every cell.
 	Baselines bool `json:"baselines,omitempty"`
+	// Timeline requests per-interval timeline sampling in every cell
+	// (a metrics option; cell fingerprints are unchanged).
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
 }
 
 // Expand materializes the sweep into its RunSpec cells, deterministic
@@ -155,6 +158,7 @@ func (s *SweepSpec) Expand(maxCells int) ([]RunSpec, error) {
 						WarmupCycles:  s.WarmupCycles,
 						MeasureCycles: s.MeasureCycles,
 						Baselines:     s.Baselines,
+						Timeline:      s.Timeline,
 					}
 					if err := cell.Validate(); err != nil {
 						return nil, fmt.Errorf("spec: sweep cell %s/%s/%s: %w", machineID(&m), p.ID(), w.ID(), err)

@@ -1,0 +1,122 @@
+package spec
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dwarn/internal/timeline"
+)
+
+// TestTimelineSpecResolve: the canonical form carries the defaulted
+// sampling parameters, the compiled sim.Options gets the matching
+// timeline.Config, and canonicalization stays idempotent.
+func TestTimelineSpecResolve(t *testing.T) {
+	res := mustResolve(t, RunSpec{
+		Policy:   Policy{Name: "dwarn"},
+		Workload: Workload{Name: "4-MIX"},
+		Timeline: &TimelineSpec{},
+	})
+	c := res.Spec.Timeline
+	if c == nil || c.IntervalCycles != timeline.DefaultIntervalCycles || c.MaxFrames != timeline.DefaultMaxFrames {
+		t.Fatalf("canonical timeline %+v, want defaults", c)
+	}
+	if o := res.Options.Timeline; o == nil || o.IntervalCycles != timeline.DefaultIntervalCycles {
+		t.Fatalf("options timeline %+v", o)
+	}
+	second := mustResolve(t, res.Spec)
+	if second.Spec.Timeline == nil || *second.Spec.Timeline != *c {
+		t.Errorf("canonicalization not idempotent: %+v vs %+v", second.Spec.Timeline, c)
+	}
+
+	custom := mustResolve(t, RunSpec{
+		Policy:   Policy{Name: "dwarn"},
+		Workload: Workload{Name: "4-MIX"},
+		Timeline: &TimelineSpec{IntervalCycles: 2500, MaxFrames: 7},
+	})
+	if ct := custom.Spec.Timeline; ct.IntervalCycles != 2500 || ct.MaxFrames != 7 {
+		t.Errorf("explicit timeline config mangled: %+v", ct)
+	}
+}
+
+// TestTimelineSpecFingerprintNeutral: sampling is observation only, so
+// requesting a timeline (at any interval) must not move the spec off
+// its plain twin's cache identity.
+func TestTimelineSpecFingerprintNeutral(t *testing.T) {
+	plain := mustResolve(t, RunSpec{Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}})
+	for name, ts := range map[string]*TimelineSpec{
+		"defaults": {},
+		"custom":   {IntervalCycles: 777, MaxFrames: 3},
+	} {
+		got := mustResolve(t, RunSpec{
+			Policy:   Policy{Name: "dwarn"},
+			Workload: Workload{Name: "4-MIX"},
+			Timeline: ts,
+		}).Fingerprint
+		if got != plain.Fingerprint {
+			t.Errorf("%s timeline changed the fingerprint: %s vs %s", name, got, plain.Fingerprint)
+		}
+	}
+}
+
+func TestTimelineSpecRejectsNegative(t *testing.T) {
+	for name, ts := range map[string]*TimelineSpec{
+		"interval": {IntervalCycles: -1},
+		"frames":   {MaxFrames: -1},
+	} {
+		s := RunSpec{Policy: Policy{Name: "dwarn"}, Workload: Workload{Name: "4-MIX"}, Timeline: ts}
+		if err := s.Validate(); err == nil {
+			t.Errorf("negative %s accepted", name)
+		}
+	}
+}
+
+// TestTimelineExampleSpec pins the shipped example: it must load,
+// resolve with its requested interval, and share the cache identity of
+// the same run without sampling (timeline is fingerprint-neutral).
+func TestTimelineExampleSpec(t *testing.T) {
+	f, err := LoadFile("../../examples/specs/timeline-dwarn.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := f.Runs(0)
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("Runs = %d, %v", len(runs), err)
+	}
+	res := mustResolve(t, runs[0])
+	if res.Options.Timeline == nil || res.Options.Timeline.IntervalCycles != 10_000 {
+		t.Fatalf("example timeline options %+v", res.Options.Timeline)
+	}
+	plain := runs[0]
+	plain.Timeline = nil
+	if got := mustResolve(t, plain).Fingerprint; got != res.Fingerprint {
+		t.Errorf("example fingerprint %s differs from its plain twin %s", res.Fingerprint, got)
+	}
+}
+
+// TestTimelineSpecJSONRoundTrip: the wire form survives encode/decode
+// with the documented field names.
+func TestTimelineSpecJSONRoundTrip(t *testing.T) {
+	in := RunSpec{
+		Policy:   Policy{Name: "dwarn"},
+		Workload: Workload{Name: "4-MIX"},
+		Timeline: &TimelineSpec{IntervalCycles: 5000, MaxFrames: 20},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["timeline"]; !ok {
+		t.Fatalf("no timeline key in %s", b)
+	}
+	var out RunSpec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Timeline == nil || *out.Timeline != *in.Timeline {
+		t.Errorf("round-trip mangled timeline: %+v", out.Timeline)
+	}
+}

@@ -1,0 +1,70 @@
+package timeline
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes one frame per line as JSON — the `smtsim -timeline
+// out.jsonl` format. Interval metadata is recoverable from each
+// frame's cycle bounds, so a JSONL file is self-describing line by
+// line and friendly to jq / line-oriented tooling.
+func (t *Timeline) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range t.Frames {
+		if err := enc.Encode(&t.Frames[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvHeader names WriteCSV's columns: one row per (frame, thread).
+var csvHeader = []string{
+	"index", "start_cycle", "end_cycle", "thread",
+	"fetched", "wrong_path_fetched", "issued", "committed",
+	"flush_squashed", "mispredict_squashed",
+	"load_l1_misses", "load_l2_misses",
+	"gate_normal_cycles", "gate_demoted_cycles", "gate_gated_cycles",
+	"l1d_miss_in_flight", "rob_occupancy",
+}
+
+// WriteCSV writes the timeline as CSV, one row per thread per frame,
+// for spreadsheet and plotting pipelines.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for i := range t.Frames {
+		f := &t.Frames[i]
+		for j := range f.Threads {
+			tf := &f.Threads[j]
+			row[0] = strconv.Itoa(f.Index)
+			row[1] = strconv.FormatInt(f.StartCycle, 10)
+			row[2] = strconv.FormatInt(f.EndCycle, 10)
+			row[3] = strconv.Itoa(tf.Thread)
+			row[4] = strconv.FormatUint(tf.Fetched, 10)
+			row[5] = strconv.FormatUint(tf.WrongPathFetched, 10)
+			row[6] = strconv.FormatUint(tf.Issued, 10)
+			row[7] = strconv.FormatUint(tf.Committed, 10)
+			row[8] = strconv.FormatUint(tf.FlushSquashed, 10)
+			row[9] = strconv.FormatUint(tf.MispredictSquashed, 10)
+			row[10] = strconv.FormatUint(tf.LoadL1Misses, 10)
+			row[11] = strconv.FormatUint(tf.LoadL2Misses, 10)
+			row[12] = strconv.FormatUint(tf.GateNormalCycles, 10)
+			row[13] = strconv.FormatUint(tf.GateDemotedCycles, 10)
+			row[14] = strconv.FormatUint(tf.GateGatedCycles, 10)
+			row[15] = strconv.Itoa(tf.L1DMissInFlight)
+			row[16] = strconv.Itoa(tf.ROBOccupancy)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

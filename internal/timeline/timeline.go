@@ -1,0 +1,227 @@
+// Package timeline records interval-resolution telemetry from inside a
+// simulation run. The end-of-run counters the rest of the repo reports
+// collapse a run's temporal structure — but the fetch policies under
+// study are temporal mechanisms (DWarn demotes a thread the cycle its
+// first L1 data miss is seen), so phase behaviour is exactly what an
+// analysis wants to see. A Sampler snapshots per-thread activity
+// deltas, point-in-time occupancy, and fetch-gate attribution at fixed
+// cycle boundaries into a preallocated ring of frames: sampling
+// allocates nothing, so the cycle engine's zero-allocation steady
+// state survives with telemetry enabled.
+//
+// Sampling is observation only. It reads the pipeline's counters and
+// never writes machine state, so per-thread counter digests are
+// bit-identical with sampling on or off, and a timeline request never
+// changes a run's content-addressed fingerprint.
+package timeline
+
+import "dwarn/internal/pipeline"
+
+// Defaults: a 10k-cycle interval resolves phase behaviour at the
+// repo's default 100k-cycle measurement (10 frames) without measurable
+// cycle-rate cost, and 1024 frames absorb a 10M-cycle run before the
+// ring starts dropping the oldest intervals.
+const (
+	DefaultIntervalCycles = 10_000
+	DefaultMaxFrames      = 1024
+)
+
+// Config selects the sampling cadence. The zero value means defaults;
+// specs carry it verbatim (it is a metrics option and never part of
+// the fingerprint).
+type Config struct {
+	// IntervalCycles is the sampling period in simulated cycles.
+	IntervalCycles int64 `json:"interval_cycles,omitempty"`
+	// MaxFrames bounds the retained frame ring; when a run produces
+	// more intervals than this, the oldest frames are dropped (the
+	// Timeline records how many).
+	MaxFrames int `json:"max_frames,omitempty"`
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.IntervalCycles <= 0 {
+		c.IntervalCycles = DefaultIntervalCycles
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = DefaultMaxFrames
+	}
+	return c
+}
+
+// ThreadFrame is one thread's activity over one interval: counter
+// deltas since the previous boundary, fetch-gate attribution (how many
+// of the interval's cycles the policy classified this thread normal /
+// demoted / gated), and point samples taken at the closing boundary.
+type ThreadFrame struct {
+	Thread int `json:"thread"`
+
+	// Counter deltas over the interval.
+	Fetched            uint64 `json:"fetched"`
+	WrongPathFetched   uint64 `json:"wrong_path_fetched"`
+	Issued             uint64 `json:"issued"`
+	Committed          uint64 `json:"committed"`
+	FlushSquashed      uint64 `json:"flush_squashed"`
+	MispredictSquashed uint64 `json:"mispredict_squashed"`
+	LoadL1Misses       uint64 `json:"load_l1_misses"`
+	LoadL2Misses       uint64 `json:"load_l2_misses"`
+
+	// Fetch-gate attribution: cycles of the interval spent in each
+	// policy decision class (normal priority, demoted like DWarn's
+	// Dmiss group, fully gated).
+	GateNormalCycles  uint64 `json:"gate_normal_cycles"`
+	GateDemotedCycles uint64 `json:"gate_demoted_cycles"`
+	GateGatedCycles   uint64 `json:"gate_gated_cycles"`
+
+	// Point samples at the closing boundary.
+	L1DMissInFlight int `json:"l1d_miss_in_flight"`
+	ROBOccupancy    int `json:"rob_occupancy"`
+}
+
+// Frame is one closed interval across all threads.
+type Frame struct {
+	// Index numbers frames from 0 in sampling order, including frames
+	// later dropped by the ring.
+	Index int `json:"index"`
+	// StartCycle and EndCycle bound the interval in measured cycles
+	// (0 = start of the measurement window); the frame covers
+	// [StartCycle, EndCycle).
+	StartCycle int64 `json:"start_cycle"`
+	EndCycle   int64 `json:"end_cycle"`
+	// Threads holds per-thread deltas in thread order.
+	Threads []ThreadFrame `json:"threads"`
+}
+
+// Committed sums the interval's committed uops across threads.
+func (f *Frame) Committed() uint64 {
+	var c uint64
+	for i := range f.Threads {
+		c += f.Threads[i].Committed
+	}
+	return c
+}
+
+// IPC is the interval's aggregate committed-uops-per-cycle.
+func (f *Frame) IPC() float64 {
+	cycles := f.EndCycle - f.StartCycle
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(f.Committed()) / float64(cycles)
+}
+
+// Timeline is the retained sampling product of one run, attached to
+// sim.Result (and therefore surviving every result store and service
+// cache round trip).
+type Timeline struct {
+	IntervalCycles int64 `json:"interval_cycles"`
+	// DroppedFrames counts the oldest frames the ring overwrote; the
+	// retained Frames always cover the run's tail.
+	DroppedFrames int     `json:"dropped_frames,omitempty"`
+	Frames        []Frame `json:"frames"`
+}
+
+// cumulative is the per-thread counter snapshot deltas are computed
+// against.
+type cumulative struct {
+	fetched, wrongPath, issued, committed uint64
+	flushSq, mispredSq, l1, l2            uint64
+	gate                                  [pipeline.NumGateClasses]uint64
+}
+
+// Sampler closes interval frames into a preallocated ring. All frame
+// storage (the ring, every frame's Threads slice, the previous
+// snapshots) is allocated at construction; Sample itself never
+// allocates.
+type Sampler struct {
+	cfg     Config
+	threads int
+	frames  []Frame
+	prev    []cumulative
+	total   int // frames ever sampled, including dropped ones
+}
+
+// NewSampler preallocates a sampler for a machine running threads
+// hardware contexts.
+func NewSampler(cfg Config, threads int) *Sampler {
+	cfg = cfg.WithDefaults()
+	s := &Sampler{
+		cfg:     cfg,
+		threads: threads,
+		frames:  make([]Frame, cfg.MaxFrames),
+		prev:    make([]cumulative, threads),
+	}
+	backing := make([]ThreadFrame, cfg.MaxFrames*threads)
+	for i := range s.frames {
+		s.frames[i].Threads = backing[i*threads : (i+1)*threads : (i+1)*threads]
+	}
+	return s
+}
+
+// IntervalCycles returns the (defaulted) sampling period.
+func (s *Sampler) IntervalCycles() int64 { return s.cfg.IntervalCycles }
+
+// Sample closes the interval [startCycle, endCycle) by reading the
+// CPU's counters and point samples into the next ring frame, which it
+// returns. The returned frame's Threads slice is ring storage: it is
+// valid until the ring wraps back around, so callers streaming frames
+// must consume or copy before MaxFrames further samples.
+func (s *Sampler) Sample(cpu *pipeline.CPU, startCycle, endCycle int64) *Frame {
+	f := &s.frames[s.total%len(s.frames)]
+	f.Index = s.total
+	f.StartCycle, f.EndCycle = startCycle, endCycle
+	for t := 0; t < s.threads; t++ {
+		st := cpu.ThreadStats(t)
+		gate := cpu.GateCycles(t)
+		issued := cpu.IssuedUops(t)
+		prev := &s.prev[t]
+		tf := &f.Threads[t]
+		tf.Thread = t
+		tf.Fetched = st.Fetched - prev.fetched
+		tf.WrongPathFetched = st.WrongPathFetched - prev.wrongPath
+		tf.Issued = issued - prev.issued
+		tf.Committed = st.Committed - prev.committed
+		tf.FlushSquashed = st.FlushSquashed - prev.flushSq
+		tf.MispredictSquashed = st.MispredictSquashed - prev.mispredSq
+		tf.LoadL1Misses = st.LoadL1Misses - prev.l1
+		tf.LoadL2Misses = st.LoadL2Misses - prev.l2
+		tf.GateNormalCycles = gate[pipeline.GateNormal] - prev.gate[pipeline.GateNormal]
+		tf.GateDemotedCycles = gate[pipeline.GateDemoted] - prev.gate[pipeline.GateDemoted]
+		tf.GateGatedCycles = gate[pipeline.GateGated] - prev.gate[pipeline.GateGated]
+		tf.L1DMissInFlight = cpu.L1DMissInFlight(t)
+		tf.ROBOccupancy = cpu.ROBOccupancy(t)
+		prev.fetched = st.Fetched
+		prev.wrongPath = st.WrongPathFetched
+		prev.issued = issued
+		prev.committed = st.Committed
+		prev.flushSq = st.FlushSquashed
+		prev.mispredSq = st.MispredictSquashed
+		prev.l1 = st.LoadL1Misses
+		prev.l2 = st.LoadL2Misses
+		prev.gate = gate
+	}
+	s.total++
+	return f
+}
+
+// Timeline copies the retained frames out of the ring, oldest first.
+// It allocates — call it once, after the cycle loop.
+func (s *Sampler) Timeline() *Timeline {
+	tl := &Timeline{IntervalCycles: s.cfg.IntervalCycles}
+	kept := s.total
+	if kept > len(s.frames) {
+		kept = len(s.frames)
+	}
+	tl.DroppedFrames = s.total - kept
+	if kept == 0 {
+		return tl
+	}
+	tl.Frames = make([]Frame, kept)
+	for i := 0; i < kept; i++ {
+		src := &s.frames[(s.total-kept+i)%len(s.frames)]
+		f := *src
+		f.Threads = append([]ThreadFrame(nil), src.Threads...)
+		tl.Frames[i] = f
+	}
+	return tl
+}

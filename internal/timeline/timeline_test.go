@@ -1,0 +1,202 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dwarn/internal/config"
+	"dwarn/internal/core"
+	"dwarn/internal/pipeline"
+	"dwarn/internal/workload"
+)
+
+// newCPU builds a warm 2-thread machine for sampler tests.
+func newCPU(t *testing.T) *pipeline.CPU {
+	t.Helper()
+	wl, err := workload.GetWorkload("2-MIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := wl.Generators(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy("dwarn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := pipeline.New(config.Baseline(), pol, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.EnableGateSampling()
+	return cpu
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.IntervalCycles != DefaultIntervalCycles || c.MaxFrames != DefaultMaxFrames {
+		t.Fatalf("zero config defaulted to %+v", c)
+	}
+	c = Config{IntervalCycles: 500, MaxFrames: 3}.WithDefaults()
+	if c.IntervalCycles != 500 || c.MaxFrames != 3 {
+		t.Fatalf("explicit config mangled: %+v", c)
+	}
+}
+
+// TestSamplerDeltasSumToCumulative: summing every interval's deltas
+// reproduces the CPU's cumulative counters — no cycle is double-counted
+// or lost across boundaries.
+func TestSamplerDeltasSumToCumulative(t *testing.T) {
+	cpu := newCPU(t)
+	s := NewSampler(Config{IntervalCycles: 1000, MaxFrames: 64}, cpu.NumThreads())
+
+	const intervals = 5
+	for i := int64(0); i < intervals; i++ {
+		cpu.Run(1000)
+		s.Sample(cpu, i*1000, (i+1)*1000)
+	}
+	tl := s.Timeline()
+	if len(tl.Frames) != intervals {
+		t.Fatalf("got %d frames, want %d", len(tl.Frames), intervals)
+	}
+
+	for th := 0; th < cpu.NumThreads(); th++ {
+		var fetched, committed, issued uint64
+		var gate uint64
+		for i := range tl.Frames {
+			tf := &tl.Frames[i].Threads[th]
+			fetched += tf.Fetched
+			committed += tf.Committed
+			issued += tf.Issued
+			gate += tf.GateNormalCycles + tf.GateDemotedCycles + tf.GateGatedCycles
+		}
+		st := cpu.ThreadStats(th)
+		if fetched != st.Fetched {
+			t.Errorf("t%d fetched deltas sum %d, cumulative %d", th, fetched, st.Fetched)
+		}
+		if committed != st.Committed {
+			t.Errorf("t%d committed deltas sum %d, cumulative %d", th, committed, st.Committed)
+		}
+		if issued != cpu.IssuedUops(th) {
+			t.Errorf("t%d issued deltas sum %d, cumulative %d", th, issued, cpu.IssuedUops(th))
+		}
+		// Gate attribution charges every thread exactly one class per
+		// cycle, so the classes partition the sampled cycles.
+		if want := uint64(intervals * 1000); gate != want {
+			t.Errorf("t%d gate cycles sum %d, want %d", th, gate, want)
+		}
+	}
+}
+
+// TestSamplerRingWrap: past MaxFrames the ring drops oldest frames,
+// records the count, and Timeline returns the tail oldest-first.
+func TestSamplerRingWrap(t *testing.T) {
+	cpu := newCPU(t)
+	s := NewSampler(Config{IntervalCycles: 100, MaxFrames: 2}, cpu.NumThreads())
+	for i := int64(0); i < 5; i++ {
+		cpu.Run(100)
+		s.Sample(cpu, i*100, (i+1)*100)
+	}
+	tl := s.Timeline()
+	if tl.DroppedFrames != 3 {
+		t.Errorf("dropped %d frames, want 3", tl.DroppedFrames)
+	}
+	if len(tl.Frames) != 2 {
+		t.Fatalf("retained %d frames, want 2", len(tl.Frames))
+	}
+	if tl.Frames[0].Index != 3 || tl.Frames[1].Index != 4 {
+		t.Errorf("retained indexes %d,%d, want 3,4", tl.Frames[0].Index, tl.Frames[1].Index)
+	}
+	if tl.Frames[0].StartCycle != 300 || tl.Frames[1].EndCycle != 500 {
+		t.Errorf("retained bounds [%d..%d], want [300..500]",
+			tl.Frames[0].StartCycle, tl.Frames[1].EndCycle)
+	}
+}
+
+// TestSampleDoesNotAllocate: the sampler's per-boundary hot path must
+// stay allocation-free or it would break the engine's zero-alloc
+// steady state.
+func TestSampleDoesNotAllocate(t *testing.T) {
+	cpu := newCPU(t)
+	s := NewSampler(Config{IntervalCycles: 100, MaxFrames: 8}, cpu.NumThreads())
+	cpu.Run(5000)
+	cycle := int64(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Sample(cpu, cycle, cycle+100)
+		cycle += 100
+	})
+	if avg != 0 {
+		t.Errorf("Sample allocates %.4f per call, want 0", avg)
+	}
+}
+
+func TestFrameAggregates(t *testing.T) {
+	f := Frame{
+		StartCycle: 0, EndCycle: 1000,
+		Threads: []ThreadFrame{{Committed: 600}, {Committed: 900}},
+	}
+	if f.Committed() != 1500 {
+		t.Errorf("Committed() = %d, want 1500", f.Committed())
+	}
+	if f.IPC() != 1.5 {
+		t.Errorf("IPC() = %v, want 1.5", f.IPC())
+	}
+	empty := Frame{StartCycle: 10, EndCycle: 10}
+	if empty.IPC() != 0 {
+		t.Errorf("zero-length frame IPC = %v, want 0", empty.IPC())
+	}
+}
+
+func sampleTimeline(t *testing.T) *Timeline {
+	t.Helper()
+	cpu := newCPU(t)
+	s := NewSampler(Config{IntervalCycles: 1000, MaxFrames: 8}, cpu.NumThreads())
+	for i := int64(0); i < 3; i++ {
+		cpu.Run(1000)
+		s.Sample(cpu, i*1000, (i+1)*1000)
+	}
+	return s.Timeline()
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	tl := sampleTimeline(t)
+	var buf bytes.Buffer
+	if err := tl.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(tl.Frames) {
+		t.Fatalf("%d JSONL lines, want %d", len(lines), len(tl.Frames))
+	}
+	for i, line := range lines {
+		var f Frame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if f.Index != tl.Frames[i].Index || len(f.Threads) != len(tl.Frames[i].Threads) {
+			t.Errorf("line %d round-trips to %+v", i, f)
+		}
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	tl := sampleTimeline(t)
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantRows := 1 // header
+	for i := range tl.Frames {
+		wantRows += len(tl.Frames[i].Threads)
+	}
+	if len(lines) != wantRows {
+		t.Fatalf("%d CSV lines, want %d", len(lines), wantRows)
+	}
+	if cols := strings.Split(lines[0], ","); len(cols) != len(csvHeader) {
+		t.Errorf("header has %d columns, want %d", len(cols), len(csvHeader))
+	}
+}
