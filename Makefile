@@ -1,7 +1,7 @@
 # Developer entry points. Everything here is plain go tool invocations;
 # the Makefile just names the common ones.
 
-.PHONY: build test race bench bench-simcore bench-sweep alloc-guard
+.PHONY: build test race bench bench-simcore bench-sweep bench-fabric alloc-guard
 
 build:
 	go build ./...
@@ -25,6 +25,12 @@ bench-simcore:
 # 64-cell grid, recorded to BENCH_sweep.json.
 bench-sweep:
 	sh scripts/bench_sweep.sh
+
+# Distributed-fabric perf trajectory: a real coordinator plus 1/2/4
+# `dwarnd -worker` processes over the 72-cell parallel grid, recorded
+# to BENCH_fabric.json.
+bench-fabric:
+	sh scripts/bench_fabric.sh
 
 # Zero-allocation steady-state guard for the cycle engine.
 alloc-guard:

@@ -53,6 +53,8 @@ import (
 	"syscall"
 	"time"
 
+	"dwarn/internal/exec"
+	"dwarn/internal/fabric"
 	"dwarn/internal/obs"
 	"dwarn/internal/service"
 	"dwarn/internal/spec"
@@ -68,6 +70,14 @@ func main() {
 		maxCells     = flag.Int("max-sweep-cells", 1024, "largest sweep expansion one request may fan out")
 		maxSweeps    = flag.Int("max-active-sweeps", 16, "concurrently executing sweeps before submissions fail fast with 503")
 		specPath     = flag.String("spec", "", "submit this JSON spec file (run or sweep) at startup to pre-warm the cache")
+		storeDir     = flag.String("store", "", "back the result cache with this durable result directory (shared layout with smtsim -store)")
+		fabricOn     = flag.Bool("fabric", true, "serve the distributed sweep fabric under /v2/fabric (remote dwarnd -worker processes may join)")
+		fabricLocal  = flag.Int("fabric-local-workers", -1, "in-process fabric worker slots (-1 = -workers; 0 = pure coordinator, cells wait for remote workers)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "fabric lease TTL: how long a worker's cell survives missed heartbeats before requeue (0 = default 15s)")
+		workerMode   = flag.Bool("worker", false, "run as a fabric worker: pull cells from -coordinator instead of serving HTTP")
+		coordURL     = flag.String("coordinator", "", "coordinator base URL for -worker mode (e.g. http://host:8080)")
+		workerName   = flag.String("worker-name", "", "worker label in fabric status (default host-pid)")
+		workerCap    = flag.Int("worker-capacity", runtime.GOMAXPROCS(0), "cells this worker runs concurrently in -worker mode")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 		adminAddr    = flag.String("admin", "", "serve the admin mux (/metrics, /debug/pprof/*, /healthz, /buildinfo) on this address (e.g. localhost:6060; empty = disabled)")
 		pprofAddr    = flag.String("pprof", "", "deprecated synonym for -admin")
@@ -82,7 +92,11 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
-	srv := service.New(service.Options{
+	if *workerMode {
+		os.Exit(runWorker(logger, *coordURL, *workerName, *workerCap, *storeDir))
+	}
+
+	opts := service.Options{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CacheEntries:    *cacheEntries,
@@ -90,7 +104,25 @@ func main() {
 		MaxSweepCells:   *maxCells,
 		MaxActiveSweeps: *maxSweeps,
 		Logger:          logger,
-	})
+	}
+	if *storeDir != "" {
+		ds, err := exec.NewDirStore(*storeDir)
+		if err != nil {
+			logger.Error("store open", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		opts.Store = ds
+	}
+	if *fabricOn {
+		// -fabric-local-workers -1 leaves LocalWorkersSet false, so the
+		// service defaults the slot count to its Workers option.
+		opts.Fabric = &service.FabricOptions{
+			LocalWorkers:    *fabricLocal,
+			LocalWorkersSet: *fabricLocal >= 0,
+			LeaseTTL:        *leaseTTL,
+		}
+	}
+	srv := service.New(opts)
 
 	if *adminAddr == "" {
 		*adminAddr = *pprofAddr // -pprof kept as a deprecated synonym
@@ -174,6 +206,46 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")
+}
+
+// runWorker is `dwarnd -worker -coordinator=URL`: the same binary as a
+// pull-based fabric worker. It registers with the coordinator, pulls
+// cell leases, simulates them through the ordinary spec→sim path, and
+// pushes results back; SIGINT/SIGTERM abandons in-flight cells silently
+// (no completion, no more heartbeats) so the coordinator's lease TTL
+// requeues them on a healthy worker. With -store the worker reads and
+// writes the same durable result directory as the coordinator, sharing
+// one cache identity through the filesystem.
+func runWorker(logger *obs.Logger, coordinator, name string, capacity int, storeDir string) int {
+	if coordinator == "" {
+		fmt.Fprintln(os.Stderr, "dwarnd: -worker requires -coordinator=URL")
+		return 2
+	}
+	var store exec.Store
+	if storeDir != "" {
+		ds, err := exec.NewDirStore(storeDir)
+		if err != nil {
+			logger.Error("store open", "dir", storeDir, "err", err)
+			return 1
+		}
+		store = ds
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := fabric.NewWorker(fabric.WorkerOptions{
+		Coordinator: coordinator,
+		Name:        name,
+		Capacity:    capacity,
+		Store:       store,
+		Logger:      logger,
+	})
+	logger.Info("fabric worker starting", "coordinator", coordinator, "capacity", capacity)
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		logger.Error("fabric worker", "err", err)
+		return 1
+	}
+	logger.Info("fabric worker stopped")
+	return 0
 }
 
 // handleBuildInfo reports how this binary was built: Go version, module

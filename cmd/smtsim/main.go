@@ -302,13 +302,19 @@ func runSpecFile(path string, maxCells, parallel int, storeDir string, asJSON bo
 			cells = append(cells, c)
 			continue
 		}
-		fmt.Printf("%s/%s/%s seed=%d fingerprint=%s\n",
-			resolved[i].Spec.Machine.Name, resolved[i].Spec.Policy.ID(), resolved[i].Spec.Workload.ID(),
-			resolved[i].Spec.Seed, r.Fingerprint[:12])
 		if r.Err != nil {
+			fmt.Printf("%s/%s/%s seed=%d fingerprint=%s\n",
+				resolved[i].Spec.Machine.Name, resolved[i].Spec.Policy.ID(), resolved[i].Spec.Workload.ID(),
+				resolved[i].Spec.Seed, r.Fingerprint[:12])
 			fmt.Printf("error: %v\n\n", r.Err)
 			continue
 		}
+		// The digest is the cell's behavioural identity (bit-identical
+		// iff the simulation behaved identically) — the line a
+		// distributed run is diffed against a serial one with.
+		fmt.Printf("%s/%s/%s seed=%d fingerprint=%s digest=%s\n",
+			resolved[i].Spec.Machine.Name, resolved[i].Spec.Policy.ID(), resolved[i].Spec.Workload.ID(),
+			resolved[i].Spec.Seed, r.Fingerprint[:12], r.Result.CounterDigest()[:16])
 		out.PrintResult(os.Stdout, r.Result)
 		if summaries[i] != nil {
 			fmt.Printf("baselines: Hmean %.3f  weighted speedup %.3f\n", summaries[i].Hmean, summaries[i].WeightedSpeedup)

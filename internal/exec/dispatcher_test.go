@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dwarn/internal/obs"
+	"dwarn/internal/sim"
+	"dwarn/internal/spec"
+)
+
+// recordingDispatcher counts dispatches per fingerprint and runs a
+// RunFunc, standing in for the fabric coordinator.
+type recordingDispatcher struct {
+	mu      sync.Mutex
+	byFP    map[string]int
+	started atomic.Int64
+	run     RunFunc
+}
+
+func (d *recordingDispatcher) Dispatch(ctx context.Context, res *spec.Resolved, started func()) (*sim.Result, error) {
+	d.mu.Lock()
+	if d.byFP == nil {
+		d.byFP = map[string]int{}
+	}
+	d.byFP[res.Fingerprint]++
+	d.mu.Unlock()
+	if started != nil {
+		d.started.Add(1)
+		started()
+	}
+	return d.run(ctx, res)
+}
+
+// TestExecutorDispatcherSeam: with a Dispatcher wired, leader cells go
+// through it instead of the pool, while the executor keeps everything
+// else — single-flight (duplicate cells dispatch once), store writes,
+// per-cell events, and input-order assembly.
+func TestExecutorDispatcherSeam(t *testing.T) {
+	cells := resolveCells(t, []string{"icount", "stall"}, []uint64{1, 2})
+	cells = append(cells, cells...) // duplicates must not double-dispatch
+
+	store := NewMemStore()
+	disp := &recordingDispatcher{run: func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+		return fakeResult(res), nil
+	}}
+	ex := New(Options{Dispatcher: disp, Store: store, Registry: obs.NewRegistry()})
+
+	var evMu sync.Mutex
+	var events []Event
+	results := ex.Execute(context.Background(), cells, func(ev Event) {
+		evMu.Lock()
+		events = append(events, ev)
+		evMu.Unlock()
+	})
+
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.Fingerprint != cells[i].Fingerprint {
+			t.Fatalf("slot %d out of order: %+v", i, r)
+		}
+	}
+	uniq := len(cells) / 2
+	disp.mu.Lock()
+	for fp, n := range disp.byFP {
+		if n != 1 {
+			t.Errorf("fingerprint %s dispatched %d times", fp[:12], n)
+		}
+	}
+	if len(disp.byFP) != uniq {
+		t.Errorf("dispatched %d distinct fingerprints, want %d", len(disp.byFP), uniq)
+	}
+	disp.mu.Unlock()
+	if got := disp.started.Load(); got != int64(uniq) {
+		t.Errorf("started fired %d times, want %d (once per leader)", got, uniq)
+	}
+	if store.Len() != uniq {
+		t.Errorf("store holds %d results, want %d", store.Len(), uniq)
+	}
+
+	var done, cached int
+	for _, ev := range events {
+		switch ev.State {
+		case CellDone:
+			done++
+		case CellCached:
+			cached++
+		}
+	}
+	if done != uniq || cached != uniq {
+		t.Errorf("events: %d done, %d cached; want %d each", done, cached, uniq)
+	}
+
+	// A dispatcher failure is recorded in its cell, not fatal to others.
+	boom := errors.New("boom")
+	disp2 := &recordingDispatcher{run: func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+		return nil, boom
+	}}
+	ex2 := New(Options{Dispatcher: disp2, Registry: obs.NewRegistry()})
+	rs := ex2.Execute(context.Background(), cells[:1], nil)
+	if !errors.Is(rs[0].Err, boom) {
+		t.Fatalf("dispatcher failure not surfaced: %+v", rs[0])
+	}
+}

@@ -32,6 +32,26 @@ import (
 // (sim.RunContext); tests substitute failures and delays.
 type RunFunc func(ctx context.Context, res *spec.Resolved) (*sim.Result, error)
 
+// Dispatcher executes leader cells through an external execution
+// fabric instead of the executor's own worker pool. The executor still
+// owns memoization, single-flight, events, and store writes — a
+// dispatcher only answers "run this one cell somewhere and give me the
+// result". internal/fabric's Coordinator implements it by queueing the
+// cell for lease: local in-process workers and remote worker processes
+// drain that one queue, so a fingerprint in flight anywhere in the
+// fleet is never simulated twice (the executor's single-flight
+// guarantees at most one Dispatch per fingerprint at a time).
+//
+// started must be invoked (at most once) when the cell begins paying
+// for its simulation — for the fabric, when its first lease is granted
+// — so progress consumers see the started→terminal transition they
+// would see from the local pool. ctx carries the cell's trace ID and
+// cancellation: a Dispatch must return promptly with ctx.Err() once
+// the context is done.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, res *spec.Resolved, started func()) (*sim.Result, error)
+}
+
 // Options configures an Executor.
 type Options struct {
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
@@ -40,6 +60,12 @@ type Options struct {
 	Store Store
 	// Run computes a cell (nil = sim.RunContext). Test seam.
 	Run RunFunc
+	// Dispatcher, when set, executes leader cells through an external
+	// fabric (local + remote workers draining one queue) instead of
+	// this executor's own pool; Workers then bounds nothing here — the
+	// fabric owns concurrency. Memoization, single-flight, events, and
+	// store writes stay with the executor either way.
+	Dispatcher Dispatcher
 	// Registry receives the executor's metrics (nil = obs.Default):
 	// store hit/miss/put and single-flight dedup counters, terminal
 	// cells by state, per-policy cell wall-time histograms, and
@@ -128,6 +154,7 @@ type Executor struct {
 	workers int
 	store   Store
 	run     RunFunc
+	disp    Dispatcher
 	sem     chan struct{}
 	met     *metrics
 	log     *obs.Logger
@@ -155,6 +182,7 @@ func New(opts Options) *Executor {
 	}
 	return &Executor{
 		workers: opts.Workers,
+		disp:    opts.Dispatcher,
 		log:     opts.Logger,
 		// Every store access — the executor's own memoization and
 		// callers going through Store(), like the service's submit-time
@@ -268,47 +296,64 @@ func (e *Executor) cell(ctx context.Context, c *spec.Resolved, started func()) (
 		e.inflight[fp] = f
 		e.mu.Unlock()
 
-		// Leader: take a worker slot, honouring cancellation while
-		// queued so a canceled sweep's waiting cells release instantly.
-		select {
-		case e.sem <- struct{}{}:
-		case <-ctx.Done():
-			f.err = ctx.Err()
-			e.settle(fp, f)
-			return nil, false, f.err
-		}
-		if started != nil {
-			started()
-		}
-		e.met.workersBusy.Inc()
-		// The cell's span is its fingerprint prefix: short enough to read
-		// in a log line, unique enough to match a cell within a sweep. The
-		// span rides the context into the run, so sim's own "sim run" line
-		// carries the same trace/span pair as the worker's lines here.
-		runCtx := obs.WithSpan(ctx, spanID(fp))
-		if e.log.Enabled(obs.LevelDebug) {
-			e.log.Debug("cell start",
-				"trace", obs.TraceID(ctx), "span", obs.SpanID(runCtx),
-				"policy", c.Spec.Policy.ID(), "workload", c.Spec.Workload.ID())
-		}
-		runStart := time.Now()
-		f.res, f.err = e.run(runCtx, c)
-		dur := time.Since(runStart)
-		e.met.cellSeconds(c.Spec.Policy.Name).Observe(dur.Seconds())
-		if e.log.Enabled(obs.LevelDebug) {
-			e.log.Debug("cell done",
-				"trace", obs.TraceID(ctx), "span", obs.SpanID(runCtx),
-				"policy", c.Spec.Policy.ID(), "workload", c.Spec.Workload.ID(),
-				"dur", dur.Round(time.Microsecond), "err", f.err)
-		}
-		e.met.workersBusy.Dec()
-		<-e.sem
+		// Leader: execute the cell — through the dispatcher's fabric
+		// when one is wired, else on the local pool.
+		f.res, f.err = e.lead(ctx, c, started)
 		if f.err == nil {
 			e.store.Put(fp, f.res)
 		}
 		e.settle(fp, f)
 		return f.res, false, f.err
 	}
+}
+
+// lead executes one leader cell. The cell's span is its fingerprint
+// prefix: short enough to read in a log line, unique enough to match a
+// cell within a sweep. The span rides the context into the run, so
+// sim's own "sim run" line carries the same trace/span pair as the
+// worker's lines here — local pool and fabric alike.
+func (e *Executor) lead(ctx context.Context, c *spec.Resolved, started func()) (*sim.Result, error) {
+	fp := c.Fingerprint
+	runCtx := obs.WithSpan(ctx, spanID(fp))
+	if e.log.Enabled(obs.LevelDebug) {
+		e.log.Debug("cell start",
+			"trace", obs.TraceID(ctx), "span", obs.SpanID(runCtx),
+			"policy", c.Spec.Policy.ID(), "workload", c.Spec.Workload.ID())
+	}
+
+	var res *sim.Result
+	var err error
+	runStart := time.Now()
+	if e.disp != nil {
+		// The fabric owns concurrency (its local and remote workers
+		// drain one queue), so the leader does not take a pool slot;
+		// started fires when the fabric grants the cell's first lease.
+		res, err = e.disp.Dispatch(runCtx, c, started)
+	} else {
+		// Take a worker slot, honouring cancellation while queued so a
+		// canceled sweep's waiting cells release instantly.
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if started != nil {
+			started()
+		}
+		e.met.workersBusy.Inc()
+		res, err = e.run(runCtx, c)
+		e.met.workersBusy.Dec()
+		<-e.sem
+	}
+	dur := time.Since(runStart)
+	e.met.cellSeconds(c.Spec.Policy.Name).Observe(dur.Seconds())
+	if e.log.Enabled(obs.LevelDebug) {
+		e.log.Debug("cell done",
+			"trace", obs.TraceID(ctx), "span", obs.SpanID(runCtx),
+			"policy", c.Spec.Policy.ID(), "workload", c.Spec.Workload.ID(),
+			"dur", dur.Round(time.Microsecond), "err", err)
+	}
+	return res, err
 }
 
 // spanID derives a cell's span from its fingerprint: the first 12 hex

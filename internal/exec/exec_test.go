@@ -277,8 +277,8 @@ func TestDirStoreRoundTripAndCorruptEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := &sim.Result{Workload: "2-MIX", Policy: "icount", Machine: "baseline", Cycles: 123, Throughput: 1.5}
-	store.Put("fp1", res)
-	got, ok := store.Get("fp1")
+	store.Put("f01", res)
+	got, ok := store.Get("f01")
 	if !ok || got.Cycles != 123 || got.Throughput != 1.5 {
 		t.Fatalf("round trip: ok=%v got=%+v", ok, got)
 	}
@@ -299,7 +299,7 @@ func TestDirStoreRoundTripAndCorruptEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range ents {
-		if n := e.Name(); n != "fp1.json" && n != "bad.json" {
+		if n := e.Name(); n != "f01.json" && n != "bad.json" {
 			t.Fatalf("unexpected file %s", n)
 		}
 	}

@@ -83,12 +83,33 @@ func NewDirStore(dir string) (*DirStore, error) {
 	return &DirStore{dir: dir}, nil
 }
 
+// validFingerprint gates what may become a file name: fingerprints are
+// lowercase-hex digests, so anything else — path separators, dots, an
+// empty string — is refused rather than joined into a path. The store
+// is also fed keys from network peers (fabric workers share a DirStore
+// with the coordinator), so this is a safety boundary, not lint.
+func validFingerprint(fp string) bool {
+	if len(fp) == 0 || len(fp) > 128 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *DirStore) path(fp string) string {
 	return filepath.Join(s.dir, fp+".json")
 }
 
 // Get implements Store.
 func (s *DirStore) Get(fp string) (*sim.Result, bool) {
+	if !validFingerprint(fp) {
+		return nil, false
+	}
 	raw, err := os.ReadFile(s.path(fp))
 	if err != nil {
 		return nil, false
@@ -100,8 +121,18 @@ func (s *DirStore) Get(fp string) (*sim.Result, bool) {
 	return &res, true
 }
 
-// Put implements Store. Persistence is best-effort (see Store).
+// Put implements Store. Persistence is best-effort (see Store), but
+// what lands is atomic even across processes: the payload goes to a
+// private temp file in the same directory, is flushed to stable
+// storage, and only then renamed onto the final name — so a concurrent
+// opener (another goroutine, another process sharing the directory, a
+// fabric worker racing the coordinator) sees either no entry or a
+// complete one, never a torn write, and a crash between fsync and
+// rename leaves only a stray temp file behind.
 func (s *DirStore) Put(fp string, res *sim.Result) {
+	if !validFingerprint(fp) {
+		return
+	}
 	raw, err := json.Marshal(res)
 	if err != nil {
 		return
@@ -111,8 +142,9 @@ func (s *DirStore) Put(fp string, res *sim.Result) {
 		return
 	}
 	_, werr := tmp.Write(raw)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		return
 	}

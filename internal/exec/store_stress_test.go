@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dwarn/internal/sim"
+)
+
+// TestDirStoreFingerprintSanitization: the store refuses keys that are
+// not lowercase-hex digests — it is fed fingerprints from network peers
+// (fabric workers sharing a directory with the coordinator), so a key
+// must never be able to name a path outside the store.
+func TestDirStoreFingerprintSanitization(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &sim.Result{Cycles: 1}
+	hostile := []string{
+		"",
+		"../escape",
+		"..",
+		"a/b",
+		`a\b`,
+		".hidden",
+		"UPPERHEX00",
+		"0123456789abcdefg", // one non-hex char
+		strings.Repeat("a", 129),
+	}
+	for _, fp := range hostile {
+		store.Put(fp, res)
+		if _, ok := store.Get(fp); ok {
+			t.Errorf("hostile key %q round-tripped", fp)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("hostile keys created files: %v", ents)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); err == nil {
+		t.Fatal("a key escaped the store directory")
+	}
+}
+
+// TestDirStoreConcurrentOpeners hammers one directory through several
+// independently opened DirStores (the multi-process sharing pattern:
+// coordinator and fabric workers pointed at the same -store DIR) from
+// many goroutines under -race. Every Get must observe either a miss or
+// a complete, self-consistent entry — never a torn write — and the
+// directory must hold exactly the final entries with no temp litter.
+func TestDirStoreConcurrentOpeners(t *testing.T) {
+	dir := t.TempDir()
+	const openers = 3
+	const writersPerStore = 4
+	const rounds = 25
+	const keys = 8
+
+	stores := make([]*DirStore, openers)
+	for i := range stores {
+		s, err := NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+	fp := func(k int) string { return fmt.Sprintf("%016x", k) }
+	// A result whose fields are mutually consistent: a torn or mixed
+	// read would break Cycles == 1000*k + r relation with Throughput.
+	mk := func(k, r int) *sim.Result {
+		return &sim.Result{
+			Workload:   fmt.Sprintf("w%d", k),
+			Cycles:     int64(1000*k + r),
+			Throughput: float64(1000*k + r),
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for si, s := range stores {
+		for w := 0; w < writersPerStore; w++ {
+			wg.Add(1)
+			go func(s *DirStore, seed int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					k := (seed + r) % keys
+					s.Put(fp(k), mk(k, r))
+					got, ok := s.Get(fp(k))
+					if !ok {
+						continue // racing rename windows may miss; never torn
+					}
+					if got.Workload != fmt.Sprintf("w%d", k) ||
+						float64(got.Cycles) != got.Throughput {
+						select {
+						case errs <- fmt.Sprintf("torn read for key %d: %+v", k, got):
+						default:
+						}
+					}
+				}
+			}(s, si*writersPerStore+w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+			continue
+		}
+		seen++
+	}
+	if seen != keys {
+		t.Errorf("directory holds %d entries, want %d", seen, keys)
+	}
+	// Every surviving entry is complete and self-consistent.
+	for k := 0; k < keys; k++ {
+		got, ok := stores[0].Get(fp(k))
+		if !ok {
+			t.Errorf("key %d lost", k)
+			continue
+		}
+		if float64(got.Cycles) != got.Throughput {
+			t.Errorf("key %d final entry torn: %+v", k, got)
+		}
+	}
+}

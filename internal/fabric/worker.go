@@ -1,0 +1,440 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwarn/internal/exec"
+	"dwarn/internal/obs"
+	"dwarn/internal/sim"
+	"dwarn/internal/spec"
+)
+
+// WorkerOptions configures a pull-based fabric worker (the client side
+// of the lease protocol; `dwarnd -worker -coordinator=URL` wraps one).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name labels the worker in status and logs ("" = host-pid).
+	Name string
+	// Capacity is how many cells run concurrently (<=0 = 1).
+	Capacity int
+	// Store, when non-nil, short-circuits leases whose fingerprint it
+	// already holds and persists finished results before they are
+	// pushed — point every worker and the coordinator at one shared
+	// DirStore and the fleet shares one durable cache identity.
+	Store exec.Store
+	// LeaseWait bounds each lease call's long-poll (<=0 = default).
+	LeaseWait time.Duration
+	// Logger receives worker lifecycle logs (nil = discard).
+	Logger *obs.Logger
+	// Run executes a cell (nil = sim.RunContext).
+	Run exec.RunFunc
+	// Client issues the RPCs (nil = a dedicated client with a timeout
+	// comfortably above the long-poll window).
+	Client *http.Client
+}
+
+// Worker pulls leases from a coordinator, runs the cells, and pushes
+// completions. Run blocks until its context is canceled; on shutdown
+// in-flight cells are abandoned silently (no error completion is ever
+// pushed for them), so the coordinator's lease TTL — not a dying
+// worker's last gasp — decides when their cells are requeued.
+type Worker struct {
+	opts   WorkerOptions
+	log    *obs.Logger
+	client *http.Client
+	run    exec.RunFunc
+
+	mu       sync.Mutex
+	workerID string
+	ttl      time.Duration
+
+	// heartbeats can be switched off by fault-injection tests to
+	// simulate a partitioned worker that keeps computing.
+	heartbeats atomic.Bool
+
+	active sync.Map // lease id -> *activeLease
+}
+
+// activeLease is one in-flight cell on this worker.
+type activeLease struct {
+	cancel context.CancelFunc
+	// abandon marks a cell whose completion must not be pushed (the
+	// coordinator canceled it, or the worker is shutting down).
+	abandon atomic.Bool
+}
+
+// NewWorker builds a worker; call Run to start it.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1
+	}
+	if opts.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		opts.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.LeaseWait <= 0 {
+		opts.LeaseWait = DefaultLeaseWait
+	}
+	w := &Worker{
+		opts:   opts,
+		log:    opts.Logger,
+		client: opts.Client,
+		run:    opts.Run,
+	}
+	if w.log == nil {
+		w.log = obs.Nop()
+	}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: opts.LeaseWait + 30*time.Second}
+	}
+	if w.run == nil {
+		w.run = func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+			return sim.RunContext(ctx, res.Options)
+		}
+	}
+	w.heartbeats.Store(true)
+	return w
+}
+
+// SetHeartbeats enables or disables lease renewal. Fault-injection
+// tests disable it to simulate a partition: the worker keeps computing
+// while the coordinator expires its leases and requeues the cells.
+func (w *Worker) SetHeartbeats(on bool) { w.heartbeats.Store(on) }
+
+// errUnknown is the client-side face of ErrUnknownWorker (HTTP 404):
+// the coordinator forgot us; re-register and carry on.
+var errUnknown = errors.New("fabric: worker not recognised by coordinator")
+
+// Run registers with the coordinator and pulls leases until ctx is
+// canceled, then returns nil. RPC failures are retried with backoff
+// rather than surfaced — a worker outliving a coordinator restart
+// simply re-registers and resumes pulling.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go w.heartbeatLoop(hbCtx)
+
+	slots := make(chan struct{}, w.opts.Capacity)
+	for i := 0; i < w.opts.Capacity; i++ {
+		slots <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	backoff := 200 * time.Millisecond
+	for {
+		// Block for one free slot, then batch up to every other free
+		// slot so a wide worker fills in one RPC.
+		select {
+		case <-slots:
+		case <-ctx.Done():
+			w.shutdown()
+			return nil
+		}
+		n := 1
+	batch:
+		for n < w.opts.Capacity {
+			select {
+			case <-slots:
+				n++
+			default:
+				break batch
+			}
+		}
+
+		leases, err := w.lease(ctx, n)
+		if err != nil {
+			for i := 0; i < n; i++ {
+				slots <- struct{}{}
+			}
+			if ctx.Err() != nil {
+				w.shutdown()
+				return nil
+			}
+			if errors.Is(err, errUnknown) {
+				if rerr := w.register(ctx); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			w.log.Warn("fabric lease call failed; retrying", "err", err)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				w.shutdown()
+				return nil
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 200 * time.Millisecond
+		for i := len(leases); i < n; i++ {
+			slots <- struct{}{} // unused slots go back
+		}
+		for _, l := range leases {
+			l := l
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { slots <- struct{}{} }()
+				w.execute(ctx, l)
+			}()
+		}
+	}
+}
+
+// shutdown flags every in-flight cell abandoned and cancels it: no
+// completion is pushed, heartbeats stop with the Run context, and the
+// coordinator requeues our cells when the leases expire.
+func (w *Worker) shutdown() {
+	w.active.Range(func(_, v any) bool {
+		al := v.(*activeLease)
+		al.abandon.Store(true)
+		al.cancel()
+		return true
+	})
+}
+
+// register announces the worker, retrying until ctx is canceled.
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 200 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		err := w.rpc(ctx, "", "/v2/fabric/workers", RegisterRequest{
+			Name:     w.opts.Name,
+			Capacity: w.opts.Capacity,
+			PID:      os.Getpid(),
+		}, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.workerID = resp.WorkerID
+			w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			w.mu.Unlock()
+			w.log.Info("fabric worker registered",
+				"coordinator", w.opts.Coordinator, "worker", resp.WorkerID,
+				"name", w.opts.Name, "capacity", w.opts.Capacity)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.log.Warn("fabric register failed; retrying", "coordinator", w.opts.Coordinator, "err", err)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// lease pulls up to n cells, long-polling an empty queue server-side.
+func (w *Worker) lease(ctx context.Context, n int) ([]Lease, error) {
+	var resp LeaseResponse
+	err := w.rpc(ctx, "", "/v2/fabric/lease", LeaseRequest{
+		WorkerID:   w.id(),
+		Max:        n,
+		WaitMillis: w.opts.LeaseWait.Milliseconds(),
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Leases, nil
+}
+
+func (w *Worker) id() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.workerID
+}
+
+// heartbeatLoop renews the worker and its active leases at a third of
+// the lease TTL, and acts on the coordinator's verdicts: canceled
+// cells are stopped and dropped, expired leases keep computing (a late
+// completion is still accepted if the cell remains unresolved).
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	w.mu.Lock()
+	ttl := w.ttl
+	w.mu.Unlock()
+	interval := ttl / 3
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if !w.heartbeats.Load() {
+			continue
+		}
+		var ids []string
+		w.active.Range(func(k, _ any) bool {
+			ids = append(ids, k.(string))
+			return true
+		})
+		var resp HeartbeatResponse
+		err := w.rpc(ctx, "", "/v2/fabric/heartbeat", HeartbeatRequest{WorkerID: w.id(), LeaseIDs: ids}, &resp)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.log.Warn("fabric heartbeat failed", "err", err)
+			}
+			continue
+		}
+		for _, id := range resp.Canceled {
+			if v, ok := w.active.Load(id); ok {
+				al := v.(*activeLease)
+				al.abandon.Store(true)
+				al.cancel()
+			}
+		}
+	}
+}
+
+// execute runs one leased cell end to end: short-circuit through the
+// shared store, else re-resolve the canonical spec (verifying it lands
+// on the leased fingerprint) and simulate, then push the completion
+// under the lease's trace id.
+func (w *Worker) execute(ctx context.Context, l Lease) {
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	al := &activeLease{cancel: cancel}
+	w.active.Store(l.ID, al)
+	defer w.active.Delete(l.ID)
+
+	cellCtx = obs.WithLogger(obs.WithSpan(obs.WithTrace(cellCtx, l.Trace), spanID(l.Fingerprint)), w.log)
+	if w.log.Enabled(obs.LevelDebug) {
+		w.log.Debug("fabric cell leased", "trace", l.Trace, "span", spanID(l.Fingerprint), "lease", l.ID)
+	}
+
+	if w.opts.Store != nil {
+		if res, ok := w.opts.Store.Get(l.Fingerprint); ok {
+			w.complete(ctx, CompleteRequest{WorkerID: w.id(), LeaseID: l.ID, Fingerprint: l.Fingerprint, Result: res}, l.Trace)
+			return
+		}
+	}
+
+	res, err := w.runLease(cellCtx, l)
+	if al.abandon.Load() {
+		return // canceled by the coordinator or our own shutdown: push nothing
+	}
+	if err != nil && cellCtx.Err() != nil {
+		return // dying mid-cell: the lease TTL requeues it
+	}
+	req := CompleteRequest{WorkerID: w.id(), LeaseID: l.ID, Fingerprint: l.Fingerprint}
+	if err != nil {
+		req.Error = err.Error()
+	} else {
+		req.Result = res
+		if w.opts.Store != nil {
+			w.opts.Store.Put(l.Fingerprint, res)
+		}
+	}
+	w.complete(ctx, req, l.Trace)
+}
+
+// runLease resolves and simulates one leased cell.
+func (w *Worker) runLease(ctx context.Context, l Lease) (*sim.Result, error) {
+	// The lease carries the cell's canonical, self-contained spec;
+	// re-resolving it locally must land on the leased fingerprint, or
+	// the result would be filed under an identity it does not have.
+	// (Trace workloads never reach here — the coordinator keeps them
+	// local — so no trace resolver is needed.)
+	rs := l.Spec
+	res, err := rs.Resolve(nil)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: leased spec does not resolve: %w", err)
+	}
+	if res.Fingerprint != l.Fingerprint {
+		return nil, fmt.Errorf("fabric: fingerprint mismatch: leased %s, resolved %s (engine version skew?)",
+			spanID(l.Fingerprint), spanID(res.Fingerprint))
+	}
+	return w.run(ctx, res)
+}
+
+// complete pushes one completion, re-registering once if the
+// coordinator forgot us (late completions after a silence expiry are
+// still worth pushing: they are accepted if the cell is unresolved).
+func (w *Worker) complete(ctx context.Context, req CompleteRequest, trace string) {
+	var resp CompleteResponse
+	err := w.rpc(ctx, trace, "/v2/fabric/complete", req, &resp)
+	if errors.Is(err, errUnknown) {
+		if w.register(ctx) == nil {
+			req.WorkerID = w.id()
+			err = w.rpc(ctx, trace, "/v2/fabric/complete", req, &resp)
+		}
+	}
+	if err != nil {
+		if ctx.Err() == nil {
+			w.log.Warn("fabric complete push failed", "span", spanID(req.Fingerprint), "err", err)
+		}
+		return
+	}
+	if resp.Stale {
+		w.log.Info("fabric completion stale (cell already resolved)", "span", spanID(req.Fingerprint))
+	}
+}
+
+// rpc is one JSON POST to the coordinator. trace, when set, rides as
+// X-Request-ID so coordinator-side access logs join the cell's trace.
+func (w *Worker) rpc(ctx context.Context, trace, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set("X-Request-ID", trace)
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return errUnknown
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fabric: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxRPCBody)).Decode(out)
+}
+
+// spanID is the cell span convention shared with internal/exec: the
+// first 12 hex characters of the fingerprint.
+func spanID(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

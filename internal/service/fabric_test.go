@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"dwarn/internal/exec"
+	"dwarn/internal/fabric"
+	"dwarn/internal/spec"
+)
+
+// runSweepToDone posts a sweep and polls it to StateDone.
+func runSweepToDone(t *testing.T, ts *httptest.Server, sweep spec.SweepSpec) SweepStatus {
+	t.Helper()
+	resp, raw := postJSON(t, ts, "/v2/sweeps", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v2/sweeps: status %d body %s", resp.StatusCode, raw)
+	}
+	var st SweepStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for st.State == StateRunning && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts, "/v2/sweeps/"+st.ID, &st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("sweep finished in state %q (%d/%d done)", st.State, st.Done, st.Total)
+	}
+	return st
+}
+
+// TestServiceFabricSweep runs a sweep through a fabric-enabled server:
+// the executor dispatches every cell into the coordinator's queue, the
+// in-process local workers drain it, and GET /v2/fabric reports the
+// fleet — while the public sweep API behaves exactly as without the
+// fabric.
+func TestServiceFabricSweep(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers: 2,
+		Fabric:  &FabricOptions{LocalWorkers: 2, LeaseTTL: time.Second},
+	})
+
+	sweep := spec.SweepSpec{
+		Policies:     []spec.PolicyAxis{{Name: "dwarn"}, {Name: "icount"}},
+		Workloads:    []spec.Workload{{Name: "2-MIX"}},
+		Seeds:        []uint64{1, 2},
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	}
+	st := runSweepToDone(t, ts, sweep)
+	if st.Total != 4 || st.Done != 4 {
+		t.Fatalf("sweep %d/%d done, want 4/4", st.Done, st.Total)
+	}
+
+	var fs fabric.Status
+	getJSON(t, ts, "/v2/fabric", &fs)
+	if !fs.Enabled {
+		t.Fatal("/v2/fabric reports disabled on a fabric-enabled server")
+	}
+	if fs.CompletedTotal < 4 {
+		t.Errorf("completed_total = %d, want >= 4", fs.CompletedTotal)
+	}
+	if len(fs.Workers) != 1 || fs.Workers[0].Name != "local" || !fs.Workers[0].Local {
+		t.Fatalf("workers = %+v, want the one in-process worker", fs.Workers)
+	}
+	if fs.Workers[0].CellsDone < 4 {
+		t.Errorf("local worker cells_done = %d, want >= 4", fs.Workers[0].CellsDone)
+	}
+
+	// The fabric counters surface on /metrics too.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, series := range []string{"dwarn_fabric_completes_total", "dwarn_fabric_queue_depth", "dwarn_fabric_workers"} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}
+
+// TestServiceFabricDisabledProbe: without Options.Fabric the probe
+// endpoint still answers, reporting enabled=false.
+func TestServiceFabricDisabledProbe(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	var fs fabric.Status
+	resp := getJSON(t, ts, "/v2/fabric", &fs)
+	if resp.StatusCode != http.StatusOK || fs.Enabled {
+		t.Fatalf("GET /v2/fabric on plain server: status %d enabled %v", resp.StatusCode, fs.Enabled)
+	}
+}
+
+// TestServiceDurableStore: with Options.Store the result cache is
+// backed by a DirStore — results land on disk, and a fresh server (cold
+// LRU) over the same directory serves the whole sweep from the store at
+// submit time.
+func TestServiceDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := exec.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := spec.SweepSpec{
+		Policies:     []spec.PolicyAxis{{Name: "icount"}},
+		Workloads:    []spec.Workload{{Name: "2-MIX"}},
+		Seeds:        []uint64{1, 2, 3},
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	}
+
+	_, ts := newTestServer(t, Options{Workers: 2, Store: ds})
+	st := runSweepToDone(t, ts, sweep)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != st.Total {
+		t.Fatalf("store dir holds %d entries after a %d-cell sweep", len(ents), st.Total)
+	}
+
+	// A second server over the same directory has a cold LRU but a warm
+	// durable tier: the identical sweep completes at submission, every
+	// cell cached.
+	ds2, err := exec.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Options{Workers: 2, Store: ds2})
+	resp, raw := postJSON(t, ts2, "/v2/sweeps", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v2/sweeps: status %d body %s", resp.StatusCode, raw)
+	}
+	var again SweepStatus
+	if err := json.Unmarshal(raw, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateDone || again.Done != again.Total {
+		t.Fatalf("restarted server did not serve the sweep from the durable store: %d/%d (state %s)",
+			again.Done, again.Total, again.State)
+	}
+	for _, cell := range again.Cells {
+		if !cell.Cached {
+			t.Fatalf("cell %s not served from the durable store", cell.Fingerprint[:12])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dwarn/internal/config"
 	"dwarn/internal/core"
 	"dwarn/internal/exec"
+	"dwarn/internal/fabric"
 	"dwarn/internal/obs"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
@@ -59,6 +60,17 @@ type Options struct {
 	// MaxTraceStoreBytes bounds the traces' total in-memory payload
 	// (default 1GB).
 	MaxTraceStoreBytes int64
+	// Store, when non-nil, durably backs the result cache: misses fall
+	// through to it, results are written to it, and entries survive
+	// restarts and LRU eviction (dwarnd -store DIR passes a DirStore —
+	// the same layout resumable CLI sweeps use, so the two share cache
+	// identity through the filesystem).
+	Store exec.Store
+	// Fabric, when non-nil, embeds a distributed-sweep coordinator: the
+	// executor dispatches leader cells into its lease queue, in-process
+	// local workers and remote `dwarnd -worker` processes drain it, and
+	// the lease protocol is served under /v2/fabric.
+	Fabric *FabricOptions
 	// Registry receives the server's metrics (HTTP, jobs, sweeps,
 	// cache, executor). Default: a fresh registry per server, so
 	// concurrent servers in one process (tests) never share counters.
@@ -130,7 +142,8 @@ type Server struct {
 	cache  *Cache
 	mgr    *Manager
 	traces *TraceStore
-	exec   *exec.Executor // shared sweep pool over the cache-backed store
+	exec   *exec.Executor      // shared sweep pool over the cache-backed store
+	fabric *fabric.Coordinator // non-nil when Options.Fabric is set
 	mux    *http.ServeMux
 	start  time.Time
 	reg    *obs.Registry
@@ -171,29 +184,51 @@ func New(opts Options) *Server {
 	// sweeps share one bounded pool and one store identity — the same
 	// cache entries /v1/simulations and /v2/runs are served from. Its
 	// metrics (store hits/misses, dedup, per-policy cell times) land in
-	// the server's registry.
+	// the server's registry. With Options.Store the LRU is layered over
+	// the durable tier; with Options.Fabric leader cells dispatch into
+	// the coordinator's lease queue instead of a local pool.
+	store := exec.Store(cacheStore{c: s.cache})
+	if opts.Store != nil {
+		store = tieredStore{fast: cacheStore{c: s.cache}, slow: opts.Store}
+	}
+	if opts.Fabric != nil {
+		s.fabric = s.startFabric(opts.Fabric)
+	}
 	s.exec = exec.New(exec.Options{
-		Workers:  opts.Workers,
-		Store:    cacheStore{c: s.cache},
-		Registry: s.reg,
-		Logger:   s.log,
-		// The Run seam exists so sweeps can stream interval frames live:
-		// when the executing context carries a frame sink (attached per
-		// sweep in submitSweep) and the cell's spec requested timeline
-		// sampling, each closing frame is forwarded as it happens instead
-		// of waiting for the cell's result.
-		Run: func(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
-			opts := res.Options
-			if sink := frameSinkFrom(ctx); sink != nil && opts.Timeline != nil {
-				fp := res.Fingerprint
-				opts.OnFrame = func(f *timeline.Frame) { sink(fp, f) }
-			}
-			return sim.RunContext(ctx, opts)
-		},
+		Workers:    opts.Workers,
+		Store:      store,
+		Dispatcher: dispatcherOrNil(s.fabric),
+		Registry:   s.reg,
+		Logger:     s.log,
+		Run:        s.runCell,
 	})
 	s.registerGauges()
 	s.routes()
 	return s
+}
+
+// runCell computes one resolved cell. It is the one RunFunc under the
+// executor's local pool, the fabric's local workers, and (via job
+// closures) single runs — so every execution path streams interval
+// frames the same way: when the executing context carries a frame sink
+// (attached per sweep in submitSweep) and the cell's spec requested
+// timeline sampling, each closing frame is forwarded as it happens
+// instead of waiting for the cell's result.
+func (s *Server) runCell(ctx context.Context, res *spec.Resolved) (*sim.Result, error) {
+	opts := res.Options
+	if sink := frameSinkFrom(ctx); sink != nil && opts.Timeline != nil {
+		fp := res.Fingerprint
+		opts.OnFrame = func(f *timeline.Frame) { sink(fp, f) }
+	}
+	return sim.RunContext(ctx, opts)
+}
+
+// dispatcherOrNil avoids handing exec a typed-nil interface.
+func dispatcherOrNil(c *fabric.Coordinator) exec.Dispatcher {
+	if c == nil {
+		return nil
+	}
+	return c
 }
 
 func (s *Server) routes() {
@@ -243,6 +278,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err == nil {
 			err = ctx.Err()
 		}
+	}
+	// The fabric closes after the sweeps drain: every cell is resolved
+	// by then, so closing only parks the local workers and tells remote
+	// workers (on their next RPC) to back off.
+	if s.fabric != nil {
+		s.fabric.Close()
 	}
 	return err
 }

@@ -42,6 +42,11 @@ func (s *Server) routesV2() {
 	s.mux.HandleFunc("GET /v2/sweeps/{id}", s.handleGetSweep)
 	s.mux.HandleFunc("GET /v2/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("DELETE /v2/sweeps/{id}", s.handleCancelSweep)
+	if s.fabric != nil {
+		s.fabric.Routes(s.mux)
+	} else {
+		s.mux.HandleFunc("GET /v2/fabric", s.handleFabricDisabled)
+	}
 }
 
 // handlePoliciesV2 lists the registry with its declared parameters —
