@@ -1,7 +1,7 @@
 # Developer entry points. Everything here is plain go tool invocations;
 # the Makefile just names the common ones.
 
-.PHONY: build test race bench bench-simcore bench-sweep bench-fabric alloc-guard
+.PHONY: build test race bench bench-simcore bench-sweep bench-fabric bench-service chaos-service alloc-guard
 
 build:
 	go build ./...
@@ -31,6 +31,18 @@ bench-sweep:
 # to BENCH_fabric.json.
 bench-fabric:
 	sh scripts/bench_fabric.sh
+
+# Service-level perf trajectory: end-to-end runs/sec and p99
+# submit→done latency against a real dwarnd at 1/4/8 concurrent
+# clients, cold (every run simulated) and hot (cache-served), recorded
+# to BENCH_service.json.
+bench-service:
+	sh scripts/bench_service.sh
+
+# Crash/fault drills: journal crash recovery, torn-tail truncation, and
+# store-write-error absorption against a real dwarnd via DWARN_CHAOS.
+chaos-service:
+	sh scripts/chaos_service.sh
 
 # Zero-allocation steady-state guard for the cycle engine.
 alloc-guard:

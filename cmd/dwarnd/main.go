@@ -48,13 +48,16 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"syscall"
 	"time"
 
+	"dwarn/internal/chaos"
 	"dwarn/internal/exec"
 	"dwarn/internal/fabric"
+	"dwarn/internal/journal"
 	"dwarn/internal/obs"
 	"dwarn/internal/service"
 	"dwarn/internal/spec"
@@ -71,6 +74,11 @@ func main() {
 		maxSweeps    = flag.Int("max-active-sweeps", 16, "concurrently executing sweeps before submissions fail fast with 503")
 		specPath     = flag.String("spec", "", "submit this JSON spec file (run or sweep) at startup to pre-warm the cache")
 		storeDir     = flag.String("store", "", "back the result cache with this durable result directory (shared layout with smtsim -store)")
+		journalPath  = flag.String("journal", "", "append-only submission journal for restart recovery (default <store>/journal.log when -store is set; empty without -store = journaling off)")
+		authToken    = flag.String("auth-token", "", "require this bearer token on every request except /healthz and /metrics (empty = open)")
+		rateLimit    = flag.Float64("rate-limit", 0, "per-client request rate limit in requests/sec, 429 + Retry-After beyond it (0 = unlimited)")
+		rateBurst    = flag.Int("rate-burst", 0, "per-client burst allowance for -rate-limit (0 = derived from the rate)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "server-side handling deadline for non-streaming requests (0 = none)")
 		fabricOn     = flag.Bool("fabric", true, "serve the distributed sweep fabric under /v2/fabric (remote dwarnd -worker processes may join)")
 		fabricLocal  = flag.Int("fabric-local-workers", -1, "in-process fabric worker slots (-1 = -workers; 0 = pure coordinator, cells wait for remote workers)")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "fabric lease TTL: how long a worker's cell survives missed heartbeats before requeue (0 = default 15s)")
@@ -92,8 +100,25 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
+	// Operational fault injection: DWARN_CHAOS arms the chaos seam for
+	// crash/torn-write drills (see internal/chaos and
+	// scripts/chaos_service.sh). Unset, the seam stays nil and free.
+	if spec := os.Getenv("DWARN_CHAOS"); spec != "" {
+		h, err := chaos.FromEnv(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarnd:", err)
+			os.Exit(2)
+		}
+		chaos.Set(h)
+		logger.Warn("chaos handler armed", "spec", spec)
+	}
+
+	if *adminAddr == "" {
+		*adminAddr = *pprofAddr // -pprof kept as a deprecated synonym
+	}
+
 	if *workerMode {
-		os.Exit(runWorker(logger, *coordURL, *workerName, *workerCap, *storeDir))
+		os.Exit(runWorker(logger, *coordURL, *workerName, *workerCap, *storeDir, *authToken, *adminAddr))
 	}
 
 	opts := service.Options{
@@ -103,6 +128,10 @@ func main() {
 		MaxCycles:       *maxCycles,
 		MaxSweepCells:   *maxCells,
 		MaxActiveSweeps: *maxSweeps,
+		AuthToken:       *authToken,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		RequestTimeout:  *reqTimeout,
 		Logger:          logger,
 	}
 	if *storeDir != "" {
@@ -112,6 +141,22 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = ds
+	}
+	if *journalPath == "" && *storeDir != "" {
+		*journalPath = filepath.Join(*storeDir, "journal.log")
+	}
+	if *journalPath != "" {
+		j, recs, err := journal.Open(*journalPath)
+		if err != nil {
+			logger.Error("journal open", "path", *journalPath, "err", err)
+			os.Exit(1)
+		}
+		if j.Torn() {
+			logger.Warn("journal had a torn tail; truncated", "path", *journalPath)
+		}
+		logger.Info("journal open", "path", *journalPath, "replayed", len(recs))
+		opts.Journal = j
+		opts.Recovered = recs
 	}
 	if *fabricOn {
 		// -fabric-local-workers -1 leaves LocalWorkersSet false, so the
@@ -124,9 +169,6 @@ func main() {
 	}
 	srv := service.New(opts)
 
-	if *adminAddr == "" {
-		*adminAddr = *pprofAddr // -pprof kept as a deprecated synonym
-	}
 	if *adminAddr != "" {
 		// The operational surface gets its own mux on its own (typically
 		// loopback) address so diagnostics are never exposed on the
@@ -215,8 +257,10 @@ func main() {
 // (no completion, no more heartbeats) so the coordinator's lease TTL
 // requeues them on a healthy worker. With -store the worker reads and
 // writes the same durable result directory as the coordinator, sharing
-// one cache identity through the filesystem.
-func runWorker(logger *obs.Logger, coordinator, name string, capacity int, storeDir string) int {
+// one cache identity through the filesystem. -auth-token rides on every
+// coordinator RPC; -admin serves the worker's own /metrics (RPC failure
+// counters) and /healthz.
+func runWorker(logger *obs.Logger, coordinator, name string, capacity int, storeDir, authToken, adminAddr string) int {
 	if coordinator == "" {
 		fmt.Fprintln(os.Stderr, "dwarnd: -worker requires -coordinator=URL")
 		return 2
@@ -230,6 +274,24 @@ func runWorker(logger *obs.Logger, coordinator, name string, capacity int, store
 		}
 		store = ds
 	}
+	reg := obs.NewRegistry()
+	if adminAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		go func() {
+			logger.Info("worker admin listening", "addr", adminAddr)
+			if err := http.ListenAndServe(adminAddr, mux); err != nil {
+				logger.Error("worker admin server", "err", err)
+			}
+		}()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	w := fabric.NewWorker(fabric.WorkerOptions{
@@ -238,6 +300,8 @@ func runWorker(logger *obs.Logger, coordinator, name string, capacity int, store
 		Capacity:    capacity,
 		Store:       store,
 		Logger:      logger,
+		AuthToken:   authToken,
+		Registry:    reg,
 	})
 	logger.Info("fabric worker starting", "coordinator", coordinator, "capacity", capacity)
 	if err := w.Run(ctx); err != nil && ctx.Err() == nil {

@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireWithoutHandlerIsNoop(t *testing.T) {
+	Set(nil)
+	if Active() {
+		t.Fatal("no handler installed, Active() = true")
+	}
+	if err := Fire("any.point", "detail"); err != nil {
+		t.Fatalf("Fire with nil handler: %v", err)
+	}
+}
+
+func TestSetAndFire(t *testing.T) {
+	var gotPoint, gotDetail string
+	Set(func(point, detail string) error {
+		gotPoint, gotDetail = point, detail
+		return ErrInjected
+	})
+	t.Cleanup(func() { Set(nil) })
+
+	err := Fire("store.put", "abc123")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected", err)
+	}
+	if gotPoint != "store.put" || gotDetail != "abc123" {
+		t.Fatalf("handler saw (%q, %q)", gotPoint, gotDetail)
+	}
+}
+
+func TestFromEnvEmpty(t *testing.T) {
+	h, err := FromEnv("  ")
+	if err != nil || h != nil {
+		t.Fatalf("FromEnv(blank) = %v, %v; want nil, nil", h, err)
+	}
+}
+
+func TestFromEnvErrorRule(t *testing.T) {
+	h, err := FromEnv("error:journal.append:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First hit passes, second and later fail.
+	if err := h("journal.append", "x"); err != nil {
+		t.Fatalf("hit 1: %v, want nil", err)
+	}
+	for i := 2; i <= 3; i++ {
+		if err := h("journal.append", "x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v, want ErrInjected", i, err)
+		}
+	}
+	// Other points are untouched.
+	if err := h("store.put", "x"); err != nil {
+		t.Fatalf("unrelated point: %v", err)
+	}
+}
+
+func TestFromEnvTornRule(t *testing.T) {
+	h, err := FromEnv("torn:journal.append")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h("journal.append", "x"); !errors.Is(err, ErrTorn) {
+		t.Fatalf("got %v, want ErrTorn", err)
+	}
+}
+
+func TestFromEnvRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"exit", "boom:p", "exit:p:0", "exit:p:x", "exit::", "exit:p:1:z"} {
+		if _, err := FromEnv(spec); err == nil {
+			t.Errorf("FromEnv(%q) accepted", spec)
+		}
+	}
+}

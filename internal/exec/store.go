@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"dwarn/internal/chaos"
 	"dwarn/internal/sim"
 )
 
@@ -131,6 +132,11 @@ func (s *DirStore) Get(fp string) (*sim.Result, bool) {
 // rename leaves only a stray temp file behind.
 func (s *DirStore) Put(fp string, res *sim.Result) {
 	if !validFingerprint(fp) {
+		return
+	}
+	// Chaos seam: a drill simulating a full or failing disk drops the
+	// write here, exactly like the error paths below.
+	if chaos.Fire("store.put", fp) != nil {
 		return
 	}
 	raw, err := json.Marshal(res)

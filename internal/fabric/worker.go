@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sync"
@@ -35,6 +36,11 @@ type WorkerOptions struct {
 	Store exec.Store
 	// LeaseWait bounds each lease call's long-poll (<=0 = default).
 	LeaseWait time.Duration
+	// AuthToken, when non-empty, is sent as a bearer credential on
+	// every RPC — required when the coordinator runs with -auth-token.
+	AuthToken string
+	// Registry, when non-nil, receives the worker's RPC health metrics.
+	Registry *obs.Registry
 	// Logger receives worker lifecycle logs (nil = discard).
 	Logger *obs.Logger
 	// Run executes a cell (nil = sim.RunContext).
@@ -62,6 +68,12 @@ type Worker struct {
 	// heartbeats can be switched off by fault-injection tests to
 	// simulate a partitioned worker that keeps computing.
 	heartbeats atomic.Bool
+
+	// rpcFailures counts failed coordinator RPCs over the worker's
+	// lifetime; rpcStreak is the current consecutive-failure run (0 =
+	// healthy), the fastest signal of a partitioned coordinator.
+	rpcFailures atomic.Uint64
+	rpcStreak   atomic.Int64
 
 	active sync.Map // lease id -> *activeLease
 }
@@ -107,7 +119,24 @@ func NewWorker(opts WorkerOptions) *Worker {
 		}
 	}
 	w.heartbeats.Store(true)
+	if reg := opts.Registry; reg != nil {
+		reg.CounterFunc("dwarn_fabric_worker_rpc_failures", "Failed coordinator RPCs (register, lease, heartbeat, complete).",
+			func() float64 { return float64(w.rpcFailures.Load()) })
+		reg.GaugeFunc("dwarn_fabric_worker_rpc_failure_streak", "Consecutive failed coordinator RPCs (0 = healthy).",
+			func() float64 { return float64(w.rpcStreak.Load()) })
+	}
 	return w
+}
+
+// rpcTimeout bounds every non-long-polling coordinator RPC: without a
+// per-call deadline a hung coordinator (accepted connection, no
+// response) would wedge the heartbeat loop and expire every lease.
+const rpcTimeout = 15 * time.Second
+
+// jitter spreads a backoff over [d/2, 3d/2) so a fleet of workers
+// restarted together does not hammer the coordinator in lockstep.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // SetHeartbeats enables or disables lease renewal. Fault-injection
@@ -176,7 +205,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			w.log.Warn("fabric lease call failed; retrying", "err", err)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(jitter(backoff)):
 			case <-ctx.Done():
 				w.shutdown()
 				return nil
@@ -239,7 +268,7 @@ func (w *Worker) register(ctx context.Context) error {
 		}
 		w.log.Warn("fabric register failed; retrying", "coordinator", w.opts.Coordinator, "err", err)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -399,9 +428,33 @@ func (w *Worker) complete(ctx context.Context, req CompleteRequest, trace string
 	}
 }
 
-// rpc is one JSON POST to the coordinator. trace, when set, rides as
-// X-Request-ID so coordinator-side access logs join the cell's trace.
+// rpc is one JSON POST to the coordinator, under its own deadline —
+// rpcTimeout, widened by the long-poll window for the lease call.
+// trace, when set, rides as X-Request-ID so coordinator-side access
+// logs join the cell's trace. Failures (transport, HTTP, decode) feed
+// the worker's RPC health metrics; any success resets the streak.
 func (w *Worker) rpc(ctx context.Context, trace, path string, in, out any) error {
+	err := w.doRPC(ctx, trace, path, in, out)
+	// errUnknown is a protocol verdict (re-register), not transport
+	// failure — counting it would alarm on a routine coordinator
+	// restart the worker recovers from by design.
+	if err != nil && !errors.Is(err, errUnknown) {
+		w.rpcFailures.Add(1)
+		w.rpcStreak.Add(1)
+	} else {
+		w.rpcStreak.Store(0)
+	}
+	return err
+}
+
+func (w *Worker) doRPC(ctx context.Context, trace, path string, in, out any) error {
+	timeout := rpcTimeout
+	if path == "/v2/fabric/lease" {
+		timeout += w.opts.LeaseWait
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -413,6 +466,9 @@ func (w *Worker) rpc(ctx context.Context, trace, path string, in, out any) error
 	req.Header.Set("Content-Type", "application/json")
 	if trace != "" {
 		req.Header.Set("X-Request-ID", trace)
+	}
+	if w.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+w.opts.AuthToken)
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {

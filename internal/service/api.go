@@ -187,11 +187,14 @@ type SweepStatus struct {
 	ID          string    `json:"id"`
 	State       string    `json:"state"` // running | done | failed | canceled
 	SubmittedAt time.Time `json:"submitted_at"`
-	Total       int       `json:"total"`
-	Running     int       `json:"running,omitempty"`
-	Done        int       `json:"done"`
-	Failed      int       `json:"failed"`
-	Canceled    int       `json:"canceled"`
+	// Recovered marks a sweep resumed from the journal after a restart;
+	// already-stored cells completed from the store, the rest re-ran.
+	Recovered bool `json:"recovered,omitempty"`
+	Total     int  `json:"total"`
+	Running   int  `json:"running,omitempty"`
+	Done      int  `json:"done"`
+	Failed    int  `json:"failed"`
+	Canceled  int  `json:"canceled"`
 	// Error reports a sweep-level failure (e.g. rejected at shutdown).
 	Error string      `json:"error,omitempty"`
 	Cells []SweepCell `json:"cells"`

@@ -208,6 +208,50 @@ func (m *Manager) Submit(kind string, req any, run runFunc) (*Job, error) {
 	}
 }
 
+// Restore re-enqueues a journaled job under its original ID after a
+// restart. The sequence counter advances past the restored ID so fresh
+// submissions never collide with it; at is the original submission
+// time (zero = now). Like Submit, it fails fast on a full queue.
+func (m *Manager) Restore(id, kind string, req any, at time.Time, run runFunc) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	if _, ok := m.jobs[id]; ok {
+		return nil, fmt.Errorf("service: job %q already registered", id)
+	}
+	if n := trailingSeq(id); n > m.seq {
+		m.seq = n
+	}
+	if at.IsZero() {
+		at = m.now()
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID:          id,
+		Kind:        kind,
+		Request:     req,
+		State:       StateQueued,
+		SubmittedAt: at,
+		ctx:         ctx,
+		cancel:      cancel,
+		run:         run,
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.pruneLocked()
+	select {
+	case m.queue <- j:
+		return j, nil
+	default:
+		delete(m.jobs, id)
+		m.order = m.order[:len(m.order)-1]
+		cancel()
+		return nil, ErrQueueFull
+	}
+}
+
 // SubmitCompleted records a job that finished at submission time — the
 // fast path for results already present in the cache, which bypasses
 // the queue entirely.

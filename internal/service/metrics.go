@@ -50,6 +50,23 @@ func (s *Server) registerGauges() {
 		func() float64 { return float64(s.cache.Stats().Misses) })
 	r.GaugeFunc("dwarn_traces", "Uploaded uop traces held in memory.",
 		func() float64 { return float64(s.traces.Len()) })
+
+	// Admission-control outcomes (middleware.go).
+	s.metAuthFail = r.Counter("dwarn_http_auth_failures_total", "Requests rejected 401 for a missing or invalid bearer token.")
+	s.metRateLimited = r.Counter("dwarn_http_rate_limited_total", "Requests rejected 429 by the per-client rate limiter.")
+	s.metShed = r.Counter("dwarn_http_load_shed_total", "Requests rejected 503 by saturation load shedding.")
+
+	// Durable registry (journal.go), present only with -journal.
+	if s.jrnl != nil {
+		r.CounterFunc("dwarn_journal_appends_total", "Registry records durably appended since startup.",
+			func() float64 { return float64(s.jrnl.Appends()) })
+		r.Gauge("dwarn_journal_replayed_records", "Registry records replayed from the journal at startup.").Set(float64(s.jrnl.Replayed()))
+		torn := 0.0
+		if s.jrnl.Torn() {
+			torn = 1
+		}
+		r.Gauge("dwarn_journal_torn_tail", "1 when startup replay found and truncated a torn journal tail.").Set(torn)
+	}
 }
 
 // statusWriter captures the response code for metrics and access logs.
@@ -109,6 +126,7 @@ func saneID(id string) bool {
 func (s *Server) obsHandler() http.Handler {
 	const reqHelp = "HTTP requests by route pattern and status code."
 	const latHelp = "HTTP request latency by route pattern."
+	inner := s.admitHandler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, route := s.mux.Handler(r)
 		if route == "" {
@@ -119,7 +137,7 @@ func (s *Server) obsHandler() http.Handler {
 		r = r.WithContext(obs.WithLogger(obs.WithTrace(r.Context(), id), s.log))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		s.mux.ServeHTTP(sw, r)
+		inner.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		if sw.code == 0 {
 			sw.code = http.StatusOK

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---- rate limiter unit tests ----
+
+func TestRateLimiterRefillAndRetryAfter(t *testing.T) {
+	l := newRateLimiter(2, 2) // 2 req/s, burst 2
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("empty bucket allowed a request")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("Retry-After wait = %v, want (0, 1s] at 2 req/s", wait)
+	}
+
+	// A different client has its own budget.
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("independent client denied")
+	}
+
+	// Half a second refills one token at 2 req/s.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("second request after single-token refill allowed")
+	}
+}
+
+func TestRateLimiterBoundsClientMap(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < maxRateClients+100; i++ {
+		l.allow("client-" + strconv.Itoa(i))
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxRateClients {
+		t.Fatalf("bucket map grew to %d (bound %d)", n, maxRateClients)
+	}
+}
+
+func TestNewRateLimiterDisabled(t *testing.T) {
+	if l := newRateLimiter(0, 10); l != nil {
+		t.Fatal("rate 0 built a limiter")
+	}
+}
+
+func TestBearerToken(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	if got := bearerToken(r); got != "" {
+		t.Fatalf("no header: %q", got)
+	}
+	r.Header.Set("Authorization", "Bearer s3cret")
+	if got := bearerToken(r); got != "s3cret" {
+		t.Fatalf("got %q", got)
+	}
+	r.Header.Set("Authorization", "bearer lower")
+	if got := bearerToken(r); got != "lower" {
+		t.Fatalf("case-insensitive scheme: %q", got)
+	}
+	r.Header.Set("Authorization", "Basic dXNlcg==")
+	if got := bearerToken(r); got != "" {
+		t.Fatalf("non-bearer scheme: %q", got)
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	if got := retryAfterHeader(0); got != "1" {
+		t.Fatalf("zero wait: %q", got)
+	}
+	if got := retryAfterHeader(1500 * time.Millisecond); got != "2" {
+		t.Fatalf("1.5s wait: %q", got)
+	}
+}
+
+// ---- HTTP status matrix: 401 / 429 / 503 ----
+
+func doGet(t *testing.T, ts *httptest.Server, path, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestAuthMatrix(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 1, AuthToken: "hunter2"})
+
+	// Probes stay open without credentials.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if resp := doGet(t, ts, path, ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s without token: %d", path, resp.StatusCode)
+		}
+	}
+
+	// API routes: no token and wrong token get 401 + WWW-Authenticate.
+	for _, token := range []string{"", "wrong", "hunter"} {
+		resp := doGet(t, ts, "/v1/policies", token)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", token, resp.StatusCode)
+		}
+		if !strings.Contains(resp.Header.Get("WWW-Authenticate"), "Bearer") {
+			t.Fatalf("token %q: missing WWW-Authenticate", token)
+		}
+	}
+	if resp := doGet(t, ts, "/v1/policies", "hunter2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid token rejected: %d", resp.StatusCode)
+	}
+	if got := srv.metAuthFail.Value(); got != 3 {
+		t.Fatalf("auth-failure counter = %d, want 3", got)
+	}
+}
+
+func TestRateLimitMatrix(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 1, RateLimit: 1, RateBurst: 2})
+
+	// Probes are exempt even under rate limiting... but they share no
+	// budget anyway; hit the API until the burst is spent.
+	limited := 0
+	var last *http.Response
+	for i := 0; i < 5; i++ {
+		last = doGet(t, ts, "/v1/policies", "")
+		if last.StatusCode == http.StatusTooManyRequests {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("burst 2 never produced a 429 in 5 requests")
+	}
+	if ra := last.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q", ra)
+	}
+	if srv.metRateLimited.Value() == 0 {
+		t.Fatal("rate-limited counter did not move")
+	}
+
+	// Probes never count against (or get caught by) the limiter.
+	for i := 0; i < 10; i++ {
+		if resp := doGet(t, ts, "/healthz", ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz under rate limit: %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestLoadShedMatrix(t *testing.T) {
+	srv, ts := newTestServer(t, Options{
+		Workers: 1, QueueDepth: 1, MaxActiveSweeps: 1, MaxCycles: 500_000_000,
+	})
+	long := SimulationRequest{
+		Policy: "icount", Workload: "8-MEM",
+		WarmupCycles: 200_000_000, MeasureCycles: 200_000_000,
+	}
+	running := submitSim(t, ts, long)
+	waitJob(t, ts, running.ID, StateRunning)
+	queued := long
+	queued.Seed = 2
+	submitSim(t, ts, queued)
+
+	// Queue full: the middleware sheds before reading the body.
+	rejected := long
+	rejected.Seed = 3
+	resp, raw := postJSON(t, ts, "/v1/simulations", rejected)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submit: status %d body %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 without Retry-After")
+	}
+	if srv.metShed.Value() == 0 {
+		t.Fatal("load-shed counter did not move")
+	}
+
+	// Sweep bound: one active sweep saturates MaxActiveSweeps=1.
+	sweepReq := SweepRequest{
+		Policies: []string{"icount"}, Workloads: []string{"8-MEM"},
+		Seed: 10, WarmupCycles: 200_000_000, MeasureCycles: 200_000_000,
+	}
+	resp, raw = postJSON(t, ts, "/v1/sweeps", sweepReq)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first sweep: status %d body %s", resp.StatusCode, raw)
+	}
+	var st SweepStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	over := sweepReq
+	over.Seed = 11
+	resp, _ = postJSON(t, ts, "/v1/sweeps", over)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap sweep: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("sweep shed 503 without Retry-After")
+	}
+
+	// Drain for fast cleanup.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sweeps/"+st.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+}
+
+// Fabric RPC routes authenticate but are exempt from the rate limiter:
+// worker heartbeats are frequent by design.
+func TestFabricRoutesExemptFromRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers: 1, RateLimit: 1, RateBurst: 1,
+		Fabric: &FabricOptions{LocalWorkers: 1},
+	})
+	// Exhaust the budget on an API route.
+	doGet(t, ts, "/v1/policies", "")
+	for i := 0; i < 5; i++ {
+		resp, _ := postJSON(t, ts, "/v2/fabric/lease", map[string]any{
+			"worker_id": "w-none", "max": 1, "wait_ms": 1,
+		})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("fabric lease rate-limited on attempt %d", i)
+		}
+	}
+}

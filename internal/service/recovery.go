@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"dwarn/internal/journal"
+)
+
+// Restart recovery: New folds the record stream journal.Open replayed
+// (Options.Recovered) into entries and resumes every unfinished one
+// through the normal submission paths. Canonical cell specs re-resolve
+// to the same fingerprints they had before the crash, so cells a
+// durable store (-store) already holds complete instantly at the
+// precheck — recovery's cost is only the cells that were genuinely in
+// flight when the process died. Entries whose specs no longer resolve
+// (a trace uploaded to the dead process's memory, a removed workload)
+// are registered terminal failed and get a finish record: failed, not
+// wedged, and never re-resumed.
+
+// recoverFromJournal is called once from New, after the executor and
+// routes exist but before the listener serves traffic.
+func (s *Server) recoverFromJournal() {
+	entries := journal.Fold(s.opts.Recovered)
+	if len(entries) == 0 {
+		return
+	}
+	// Advance the id sequences past every journaled entry first, so ids
+	// allocated to fresh submissions never collide with recovered ones
+	// (including terminal entries that are not re-registered).
+	s.mu.Lock()
+	for _, e := range entries {
+		if e.Kind == journal.KindSweep {
+			if n := trailingSeq(e.ID); n > s.sweepSeq {
+				s.sweepSeq = n
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	unfinished := 0
+	for _, e := range entries {
+		if !e.Unfinished() {
+			continue
+		}
+		unfinished++
+		switch e.Kind {
+		case journal.KindSweep:
+			s.recoverSweep(e)
+		case journal.KindRun:
+			s.recoverRun(e)
+		default:
+			s.log.Warn("journal entry with unknown kind", "id", e.ID, "kind", e.Kind)
+		}
+	}
+	s.log.Info("journal recovery", "replayed", len(s.opts.Recovered),
+		"entries", len(entries), "resumed", unfinished)
+}
+
+// recoverSweep re-resolves a sweep's canonical cells and resumes it
+// under its original id, flagged recovered in status responses.
+func (s *Server) recoverSweep(e *journal.Entry) {
+	cells := make([]sweepCell, 0, len(e.Cells))
+	for _, rs := range e.Cells {
+		res, err := s.resolveSpec(rs)
+		if err != nil {
+			s.failRecoveredSweep(e, fmt.Errorf("service: recovery: %w", err))
+			return
+		}
+		cells = append(cells, sweepCell{resolved: res, view: cellIdentity(res)})
+	}
+	st, err := s.startSweep(sweepStart{
+		cells:       cells,
+		trace:       "recovery",
+		id:          e.ID,
+		recovered:   true,
+		submittedAt: e.SubmittedAt,
+	})
+	if err != nil {
+		s.failRecoveredSweep(e, fmt.Errorf("service: recovery: %w", err))
+		return
+	}
+	s.log.Info("sweep recovered", "sweep", e.ID, "cells", len(cells),
+		"done_on_record", len(e.Done), "state", st.State)
+}
+
+// failRecoveredSweep registers an unresumable sweep as terminal failed
+// — observable via GET with the cause — and journals the terminal
+// record so the next restart does not retry it forever.
+func (s *Server) failRecoveredSweep(e *journal.Entry, cause error) {
+	sw := &sweep{
+		id:          e.ID,
+		submittedAt: e.SubmittedAt,
+		state:       StateFailed,
+		recovered:   true,
+		cancel:      func() {},
+	}
+	for _, rs := range e.Cells {
+		view := SweepCell{Policy: rs.Policy.ID(), Seed: rs.Seed}
+		if rs.Workload.Trace != "" {
+			view.Trace = rs.Workload.Trace
+		} else {
+			view.Workload = rs.Workload.ID()
+		}
+		if rs.Machine != nil {
+			view.Machine = rs.Machine.Name
+		}
+		view.State = StateFailed
+		sw.cells = append(sw.cells, sweepCell{view: view})
+		sw.progress = append(sw.progress, cellProgress{state: StateFailed, err: cause.Error()})
+	}
+	s.mu.Lock()
+	if _, ok := s.sweeps[sw.id]; !ok {
+		s.sweeps[sw.id] = sw
+		s.sweepOrder = append(s.sweepOrder, sw.id)
+		s.pruneSweepsLocked()
+	}
+	s.mu.Unlock()
+	s.journalFinish(sw.id, StateFailed, cause.Error())
+	s.log.Warn("sweep recovery failed", "sweep", e.ID, "err", cause)
+}
+
+// recoverRun re-enqueues an unfinished single-run job under its
+// original id. A spec that no longer resolves runs as an immediate
+// failure, which records the terminal state through the normal path.
+func (s *Server) recoverRun(e *journal.Entry) {
+	var run func(context.Context) (json.RawMessage, bool, error)
+	var req any
+	switch {
+	case len(e.Cells) != 1:
+		cause := fmt.Errorf("service: recovery: job %s journal entry carries %d specs, want 1", e.ID, len(e.Cells))
+		run = func(context.Context) (json.RawMessage, bool, error) { return nil, false, cause }
+	default:
+		req = e.Cells[0]
+		res, err := s.resolveSpec(e.Cells[0])
+		if err != nil {
+			cause := fmt.Errorf("service: recovery: %w", err)
+			run = func(context.Context) (json.RawMessage, bool, error) { return nil, false, cause }
+			break
+		}
+		runner := s.runSim
+		if res.Spec.Baselines {
+			runner = s.runSimWithBaselines
+		}
+		run = func(ctx context.Context) (json.RawMessage, bool, error) {
+			return runner(ctx, res)
+		}
+	}
+	wrapped := func(ctx context.Context) (json.RawMessage, bool, error) {
+		raw, cached, err := run(ctx)
+		s.journalRunFinish(e.ID, ctx, err)
+		return raw, cached, err
+	}
+	if _, err := s.mgr.Restore(e.ID, "sim", req, e.SubmittedAt, wrapped); err != nil {
+		// Queue full or double restore: leave the entry unfinished — the
+		// next restart tries again with a drained queue.
+		s.log.Warn("job recovery failed", "job", e.ID, "err", err)
+		return
+	}
+	s.log.Info("job recovered", "job", e.ID)
+}

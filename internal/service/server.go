@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"dwarn/internal/core"
 	"dwarn/internal/exec"
 	"dwarn/internal/fabric"
+	"dwarn/internal/journal"
 	"dwarn/internal/obs"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
@@ -80,6 +82,28 @@ type Options struct {
 	// Logger receives structured access and lifecycle logs (default:
 	// discard). cmd/dwarnd passes a key=value logger on stderr.
 	Logger *obs.Logger
+	// AuthToken, when non-empty, requires every request except the
+	// GET /healthz and GET /metrics probes to present it as a bearer
+	// token (compared in constant time); failures get 401.
+	AuthToken string
+	// RateLimit, when > 0, enforces a per-client token bucket of this
+	// many requests/second on non-fabric routes; rejected requests get
+	// 429 with a Retry-After hint.
+	RateLimit float64
+	// RateBurst is the rate limiter's bucket capacity (default
+	// max(2×RateLimit, 8)).
+	RateBurst int
+	// RequestTimeout bounds the handling time of non-streaming,
+	// non-fabric requests (0 disables; dwarnd defaults it to 60s).
+	RequestTimeout time.Duration
+	// Journal, when non-nil, durably records sweep and run-job registry
+	// transitions; the Server appends to it as work is admitted and
+	// completed, and compacts + closes it on Shutdown.
+	Journal *journal.Journal
+	// Recovered is the record stream journal.Open replayed before the
+	// Server was built. New folds it and resumes unfinished entries
+	// through the executor (durably stored cells short-circuit).
+	Recovered []journal.Record
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +176,21 @@ type Server struct {
 	reqSeq  atomic.Uint64 // request-ID sequence for access logs
 	sseSubs atomic.Int64  // open SSE event streams
 
+	// Admission control (middleware.go).
+	limiter  *rateLimiter // nil unless Options.RateLimit > 0
+	authHash [32]byte     // sha256(Options.AuthToken); compared hashed
+
+	metAuthFail    *obs.Counter
+	metRateLimited *obs.Counter
+	metShed        *obs.Counter
+
+	// Durable registry. jrecs mirrors every record appended (or
+	// replayed) this process lifetime, so Shutdown can fold it and
+	// compact the on-disk log down to the still-unfinished entries.
+	jrnl  *journal.Journal // nil without -journal
+	jmu   sync.Mutex
+	jrecs []journal.Record
+
 	sweepWG    sync.WaitGroup
 	sweepCtx   context.Context // parent of every sweep's context
 	stopSweeps context.CancelFunc
@@ -180,6 +219,12 @@ func New(opts Options) *Server {
 		stopSweeps: cancel,
 		sweeps:     make(map[string]*sweep),
 	}
+	if opts.AuthToken != "" {
+		s.authHash = sha256.Sum256([]byte(opts.AuthToken))
+	}
+	s.limiter = newRateLimiter(opts.RateLimit, opts.RateBurst)
+	s.jrnl = opts.Journal
+	s.jrecs = append(s.jrecs, opts.Recovered...)
 	// Every sweep cell executes through this one executor: N concurrent
 	// sweeps share one bounded pool and one store identity — the same
 	// cache entries /v1/simulations and /v2/runs are served from. Its
@@ -204,6 +249,7 @@ func New(opts Options) *Server {
 	})
 	s.registerGauges()
 	s.routes()
+	s.recoverFromJournal()
 	return s
 }
 
@@ -251,7 +297,10 @@ func (s *Server) routes() {
 }
 
 // Handler returns the root http.Handler: the API mux behind the
-// observability layer (per-route metrics + request-ID access logs).
+// admission-control chain (auth, rate limit, load shedding, body and
+// deadline bounds) behind the observability layer (per-route metrics +
+// request-ID access logs) — outermost first, so rejected requests are
+// still counted and logged.
 func (s *Server) Handler() http.Handler { return s.obsHandler() }
 
 // Shutdown stops accepting work and drains both execution paths: the
@@ -285,7 +334,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.fabric != nil {
 		s.fabric.Close()
 	}
+	// Compact the journal down to whatever is still unfinished (after a
+	// clean drain: nothing, leaving just the header) and close it. A
+	// failed compaction is not fatal — the full log replays fine.
+	if s.jrnl != nil {
+		s.jmu.Lock()
+		keep := journal.Live(journal.Fold(s.jrecs))
+		s.jmu.Unlock()
+		if cerr := s.jrnl.Compact(keep); cerr != nil {
+			s.log.Warn("journal compact failed", "err", cerr)
+		}
+		if cerr := s.jrnl.Close(); cerr != nil {
+			s.log.Warn("journal close failed", "err", cerr)
+		}
+	}
 	return err
+}
+
+// journalAppend durably appends one registry record (no-op without a
+// journal), mirroring it in memory for Shutdown's compaction fold.
+func (s *Server) journalAppend(rec journal.Record) error {
+	if s.jrnl == nil {
+		return nil
+	}
+	if err := s.jrnl.Append(rec); err != nil {
+		return err
+	}
+	s.jmu.Lock()
+	s.jrecs = append(s.jrecs, rec)
+	s.jmu.Unlock()
+	return nil
 }
 
 // CacheStats exposes the result cache counters (used by tests and /healthz).
@@ -316,11 +394,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // submitError maps submission failures (job queue or sweep admission)
-// to HTTP statuses.
+// to HTTP statuses. Saturation 503s carry a Retry-After hint so
+// well-behaved clients back off instead of hot-looping.
 func submitError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrTooManySweeps) {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) ||
+		errors.Is(err, ErrTooManySweeps) || errors.Is(err, ErrSaturated) {
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterHeader(retryAfterShed))
 	}
 	writeError(w, status, err)
 }
@@ -448,14 +529,61 @@ func (s *Server) submitResolved(ctx context.Context, res *spec.Resolved, record 
 	}
 
 	trace := obs.TraceID(ctx)
-	j, err := s.mgr.Submit("sim", record, func(jobCtx context.Context) (json.RawMessage, bool, error) {
+	base := func(jobCtx context.Context) (json.RawMessage, bool, error) {
 		return run(obs.WithLogger(obs.WithTrace(jobCtx, trace), s.log), res)
-	})
+	}
+	runJob := base
+	var ready chan struct{}
+	var jobID *string
+	if s.jrnl != nil {
+		// The worker closure waits for the submit record (which carries
+		// the job id) to be durably appended before executing, so the
+		// journal never holds a finish record ahead of its submit.
+		ready = make(chan struct{})
+		jobID = new(string)
+		runJob = func(jobCtx context.Context) (json.RawMessage, bool, error) {
+			<-ready
+			raw, cached, err := base(jobCtx)
+			s.journalRunFinish(*jobID, jobCtx, err)
+			return raw, cached, err
+		}
+	}
+	j, err := s.mgr.Submit("sim", record, runJob)
 	if err != nil {
 		return JobView{}, err
 	}
+	if s.jrnl != nil {
+		*jobID = j.ID
+		if jerr := s.journalAppend(journal.Record{
+			Type: journal.TypeSubmit, ID: j.ID, Kind: journal.KindRun,
+			Time: j.SubmittedAt, Cells: []spec.RunSpec{res.Spec},
+		}); jerr != nil {
+			// Best effort for single runs (availability over strict
+			// durability): the job still runs, it just won't be resumed
+			// if the process dies first.
+			s.log.Warn("journal job append failed", "job", j.ID, "err", jerr)
+		}
+		close(ready)
+	}
 	v, _ := s.mgr.Get(j.ID)
 	return v, nil
+}
+
+// journalRunFinish appends a run job's terminal record, mirroring the
+// Manager's state mapping for the job itself.
+func (s *Server) journalRunFinish(id string, ctx context.Context, err error) {
+	rec := journal.Record{Type: journal.TypeFinish, ID: id, State: StateDone}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		rec.State = StateCanceled
+	default:
+		rec.State = StateFailed
+		rec.Error = err.Error()
+	}
+	if aerr := s.journalAppend(rec); aerr != nil {
+		s.log.Warn("journal job finish append failed", "job", id, "err", aerr)
+	}
 }
 
 // submitSpecJob resolves and submits one spec.
@@ -566,6 +694,11 @@ func (s *Server) handleCancelSimulation(w http.ResponseWriter, r *http.Request) 
 	if !s.mgr.Cancel(id) {
 		writeError(w, http.StatusConflict, fmt.Errorf("service: job %q already finished", id))
 		return
+	}
+	// Durable cancel: a job canceled while still queued never runs its
+	// closure, so without this record a restart would resume it.
+	if err := s.journalAppend(journal.Record{Type: journal.TypeCancel, ID: id}); err != nil {
+		s.log.Warn("journal cancel append failed", "job", id, "err", err)
 	}
 	v, _ := s.mgr.Get(id)
 	writeJSON(w, http.StatusOK, v)

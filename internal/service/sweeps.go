@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"time"
 
+	"dwarn/internal/chaos"
 	"dwarn/internal/exec"
+	"dwarn/internal/journal"
 	"dwarn/internal/obs"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
@@ -30,6 +32,12 @@ import (
 // ErrTooManySweeps reports sweep admission hitting MaxActiveSweeps;
 // the HTTP layer maps it to a 503, like a full job queue.
 var ErrTooManySweeps = errors.New("service: too many active sweeps")
+
+// errJournal reports a failed durable append at sweep admission. The
+// submission is refused (500): admitting work the journal cannot
+// remember would silently reintroduce the forget-on-restart bug the
+// journal exists to fix.
+var errJournal = errors.New("service: journal write failed")
 
 // cacheStore adapts the service's byte-level LRU result cache onto the
 // execution layer's Store interface. Entries are the exact marshaled
@@ -94,6 +102,7 @@ type sweep struct {
 	frameEvents int             // timeline frame events retained so far
 	waiters     []chan struct{} // SSE streams blocked until the next event
 	state       string          // StateRunning until terminal
+	recovered   bool            // resumed from the journal after a restart
 	cancel      context.CancelFunc
 }
 
@@ -178,14 +187,44 @@ func (s *Server) sweepFrameSink(sw *sweep, fpIndex map[string]int) frameSink {
 	}
 }
 
-// submitSweep registers resolved cells, completes what the store
-// already holds, fans the remainder into the shared executor, and
-// writes the initial status snapshot to w. The submitting request's
-// trace ID is captured here and re-attached to the sweep's own
-// (server-lifetime) execution context, so every cell the sweep pays
-// for — and the sim runs underneath — logs under the submit trace.
+// submitSweep runs the HTTP side of sweep admission: startSweep does
+// the work, and failures map to statuses here — saturation and
+// shutdown to 503, a failed durable append to 500, anything else
+// (solo-baseline resolution) to 400.
 func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []sweepCell) {
-	trace := obs.TraceID(r.Context())
+	st, err := s.startSweep(sweepStart{cells: cells, trace: obs.TraceID(r.Context())})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrTooManySweeps):
+			submitError(w, err)
+		case errors.Is(err, errJournal):
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// sweepStart parameterises startSweep for its two callers: HTTP
+// submission (fresh id, journaled, admission-bounded) and journal
+// recovery (preassigned id, already journaled, bypasses the bound).
+type sweepStart struct {
+	cells       []sweepCell
+	trace       string
+	id          string    // preassigned id (recovery); "" allocates
+	recovered   bool      // resumed from the journal: skip admission + submit record
+	submittedAt time.Time // original submit time (recovery); zero = now
+}
+
+// startSweep registers resolved cells, durably journals the admission,
+// completes what the store already holds, and fans the remainder into
+// the shared executor. The submit trace ID is re-attached to the
+// sweep's own (server-lifetime) execution context, so every cell the
+// sweep pays for — and the sim runs underneath — logs under it.
+func (s *Server) startSweep(p sweepStart) (*SweepStatus, error) {
+	cells, trace := p.cells, p.trace
 	// Resolve the hidden baseline cells before taking any locks.
 	soloFor := make([]map[string]string, len(cells))
 	var solos []sweepCell
@@ -193,8 +232,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []swe
 	for i, c := range cells {
 		m, sc, err := soloBaselines(c.resolved)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return nil, err
 		}
 		soloFor[i] = m
 		for _, cell := range sc {
@@ -221,13 +259,17 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []swe
 
 	ctx, cancel := context.WithCancel(s.sweepCtx)
 	sw := &sweep{
-		submittedAt: time.Now(),
+		submittedAt: p.submittedAt,
 		cells:       cells,
 		solos:       solos,
 		soloFor:     soloFor,
 		progress:    make([]cellProgress, len(cells)),
 		state:       StateRunning,
+		recovered:   p.recovered,
 		cancel:      cancel,
+	}
+	if sw.submittedAt.IsZero() {
+		sw.submittedAt = time.Now()
 	}
 
 	// The cells the executor still has to pay for, with their index in
@@ -245,30 +287,36 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []swe
 	if s.sweepClosed {
 		s.mu.Unlock()
 		cancel()
-		submitError(w, ErrShuttingDown)
-		return
+		return nil, ErrShuttingDown
 	}
 	// Admission control: sweeps bypass the job queue, so they need
 	// their own fast-fail bound — without it a submit loop would pile
 	// up unbounded live sweeps (each with one blocked goroutine per
 	// pending cell). Fully-cached submissions are terminal on arrival
-	// and don't count against the cap.
-	if len(pending) > 0 {
-		active := 0
-		for _, id := range s.sweepOrder {
-			if !s.sweeps[id].terminal() {
-				active++
-			}
-		}
-		if active >= s.opts.MaxActiveSweeps {
+	// and don't count against the cap. Recovery bypasses the bound:
+	// this work was already admitted (and journaled) before the
+	// restart, so refusing it now would wedge it forever.
+	if len(pending) > 0 && !p.recovered {
+		if s.activeSweepsLocked() >= s.opts.MaxActiveSweeps {
 			s.mu.Unlock()
 			cancel()
-			submitError(w, fmt.Errorf("%w (max %d)", ErrTooManySweeps, s.opts.MaxActiveSweeps))
-			return
+			return nil, fmt.Errorf("%w (max %d)", ErrTooManySweeps, s.opts.MaxActiveSweeps)
 		}
 	}
-	s.sweepSeq++
-	sw.id = fmt.Sprintf("sweep-%06d", s.sweepSeq)
+	if p.id != "" {
+		if _, ok := s.sweeps[p.id]; ok {
+			s.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("service: sweep %q already registered", p.id)
+		}
+		sw.id = p.id
+		if n := trailingSeq(p.id); n > s.sweepSeq {
+			s.sweepSeq = n
+		}
+	} else {
+		s.sweepSeq++
+		sw.id = fmt.Sprintf("sweep-%06d", s.sweepSeq)
+	}
 	s.sweeps[sw.id] = sw
 	s.sweepOrder = append(s.sweepOrder, sw.id)
 	s.pruneSweepsLocked()
@@ -287,20 +335,54 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []swe
 	if len(pending) == 0 {
 		s.finishSweepLocked(sw, resByFp, nil)
 		st := s.sweepStatusLocked(sw)
+		state := sw.state
 		s.mu.Unlock()
 		// Terminal on arrival: release the per-sweep context now, or it
 		// would stay registered on the server-lifetime parent forever
 		// (DELETE refuses terminal sweeps, so nothing else frees it).
 		cancel()
+		// A fresh fully-cached sweep journals nothing (no durable state
+		// to resume); a recovered one must write its terminal record, or
+		// every restart would re-resume it.
+		if p.recovered {
+			s.journalFinish(sw.id, state, "")
+		}
 		s.log.Info("sweep cached", "trace", trace, "sweep", sw.id, "cells", len(cells), "solos", len(solos))
-		writeJSON(w, http.StatusAccepted, st)
-		return
+		return st, nil
 	}
+
+	// Durability point: the submit record must be on stable storage
+	// before any cell executes, so a crash from here on recovers the
+	// sweep instead of forgetting it. One fsync under the server mutex
+	// at admission time — cell completions sync outside it. A recovered
+	// sweep's record already survives in the journal.
+	if !p.recovered && s.jrnl != nil {
+		specs := make([]spec.RunSpec, len(cells))
+		for i, c := range cells {
+			specs[i] = c.resolved.Spec
+		}
+		rec := journal.Record{
+			Type: journal.TypeSubmit, ID: sw.id, Kind: journal.KindSweep,
+			Time: sw.submittedAt, Cells: specs,
+		}
+		if err := s.journalAppend(rec); err != nil {
+			delete(s.sweeps, sw.id)
+			s.sweepOrder = s.sweepOrder[:len(s.sweepOrder)-1]
+			s.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("%w: %v", errJournal, err)
+		}
+	}
+	// Chaos point for the crash drills: a process exit injected here
+	// dies with the sweep journaled but not yet executing — exactly the
+	// window restart recovery must cover.
+	_ = chaos.Fire("sweep.journal.appended", sw.id)
+
 	s.sweepWG.Add(1)
 	st := s.sweepStatusLocked(sw)
 	s.mu.Unlock()
 	s.log.Info("sweep submitted", "trace", trace, "sweep", sw.id,
-		"cells", len(cells), "solos", len(solos), "pending", len(pending))
+		"cells", len(cells), "solos", len(solos), "pending", len(pending), "recovered", p.recovered)
 
 	// First public cell per fingerprint, for routing live frames back to
 	// a cell index (duplicate cells share one simulation anyway).
@@ -321,6 +403,15 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []swe
 		defer cancel()
 		start := time.Now()
 		results := s.exec.Execute(runCtx, pending, func(ev exec.Event) {
+			// Durable progress first, outside the server mutex (the
+			// append fsyncs): a public cell completion on record means a
+			// restart re-resolves it straight from the store precheck.
+			if idx := pendingIdx[ev.Index]; idx < len(sw.cells) &&
+				(ev.State == exec.CellDone || ev.State == exec.CellCached) {
+				if err := s.journalAppend(journal.Record{Type: journal.TypeCell, ID: sw.id, Fingerprint: ev.Fingerprint}); err != nil {
+					s.log.Warn("journal cell append failed", "sweep", sw.id, "err", err)
+				}
+			}
 			s.mu.Lock()
 			s.cellEventLocked(sw, pendingIdx[ev.Index], ev)
 			s.mu.Unlock()
@@ -337,11 +428,44 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request, cells []swe
 		s.finishSweepLocked(sw, resByFp, errByFp)
 		state := sw.state
 		s.mu.Unlock()
+		// Terminal record before sweepWG.Done: Shutdown's journal
+		// compaction waits on the drain, so a shutdown-canceled sweep is
+		// recorded canceled — never re-resumed on the next start.
+		s.journalFinish(sw.id, state, "")
 		s.log.Info("sweep finished", "trace", trace, "sweep", sw.id, "state", state,
 			"cells", len(cells), "dur", time.Since(start).Round(time.Millisecond))
 	}()
 
-	writeJSON(w, http.StatusAccepted, st)
+	return st, nil
+}
+
+// journalFinish appends an entry's terminal record (no-op without a
+// journal); failures are logged, not fatal — the worst case is a
+// completed entry re-resumed on the next start, where the store
+// precheck completes it instantly again.
+func (s *Server) journalFinish(id, state, errMsg string) {
+	rec := journal.Record{Type: journal.TypeFinish, ID: id, State: state, Error: errMsg}
+	if err := s.journalAppend(rec); err != nil {
+		s.log.Warn("journal finish append failed", "id", id, "err", err)
+	}
+}
+
+// trailingSeq parses the numeric suffix of a "name-000042" style id (0
+// when absent), used to advance id sequences past recovered entries.
+func trailingSeq(id string) uint64 {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '-' {
+			var n uint64
+			for _, c := range id[i+1:] {
+				if c < '0' || c > '9' {
+					return 0
+				}
+				n = n*10 + uint64(c-'0')
+			}
+			return n
+		}
+	}
+	return 0
 }
 
 // pruneSweepsLocked drops the oldest terminal sweep records beyond
@@ -497,6 +621,7 @@ func (s *Server) sweepStatusLocked(sw *sweep) *SweepStatus {
 		ID:          sw.id,
 		State:       sw.state,
 		SubmittedAt: sw.submittedAt,
+		Recovered:   sw.recovered,
 		Total:       len(sw.cells),
 		Cells:       make([]SweepCell, 0, len(sw.cells)),
 	}
@@ -559,6 +684,13 @@ func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
 	if terminal {
 		writeError(w, http.StatusConflict, fmt.Errorf("service: sweep %q already finished", sw.id))
 		return
+	}
+	// The cancel record makes the request itself durable: if the
+	// process dies before the cells observe their context, the next
+	// start treats the sweep as terminal instead of re-resuming work
+	// the client asked to stop.
+	if err := s.journalAppend(journal.Record{Type: journal.TypeCancel, ID: sw.id}); err != nil {
+		s.log.Warn("journal cancel append failed", "sweep", sw.id, "err", err)
 	}
 	sw.cancel()
 	s.mu.Lock()

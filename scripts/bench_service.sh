@@ -1,0 +1,143 @@
+#!/bin/sh
+# bench_service.sh — record dwarnd end-to-end service throughput/latency.
+#
+# Starts a real dwarnd and measures the full HTTP round trip of single
+# runs — POST /v1/simulations, then poll to terminal state — at three
+# client concurrency levels, in two modes:
+#
+#   cold: every request carries a fresh seed, so every run simulates
+#   hot:  every request is identical, so all but the first are served
+#         from the content-addressed result cache
+#
+# Writes BENCH_service.json with runs/sec and p99 submit→done latency
+# per (mode, concurrency). Hot-mode latency is bounded below by the
+# client's 10ms poll interval; the numbers are a service-level
+# trajectory, not a microbenchmark.
+#
+# On a single-core runner concurrent clients time-slice one CPU and the
+# concurrency scaling is meaningless; the output is marked degraded,
+# matching bench_sweep.sh.
+#
+# Usage:
+#   scripts/bench_service.sh [output.json]   (or `make bench-service`)
+set -eu
+
+out="${1:-BENCH_service.json}"
+port="${BENCH_SERVICE_PORT:-18571}"
+base="http://127.0.0.1:$port"
+reqs=32 # requests per (mode, concurrency) round
+warmup=2000
+measure=5000
+
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench_service: building dwarnd" >&2
+go build -o "$work/dwarnd" ./cmd/dwarnd
+
+maxprocs="$(go run ./scripts/maxprocs 2>/dev/null || echo 0)"
+degraded=false
+if [ "$maxprocs" -le 1 ]; then
+    degraded=true
+    echo "bench_service: WARNING: GOMAXPROCS=$maxprocs — concurrent clients" >&2
+    echo "bench_service: WARNING: time-slice one core; results marked degraded" >&2
+fi
+
+"$work/dwarnd" -addr "127.0.0.1:$port" -max-cycles -1 -queue 512 -log-level error &
+pids="$pids $!"
+i=0
+until curl -sf "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "bench_service: dwarnd never came up" >&2; exit 1; }
+    sleep 0.1
+done
+
+one_request() { # $1 = seed; appends submit→done latency (ms) to $2
+    t0="$(date +%s.%N)"
+    id="$(curl -sf -X POST "$base/v1/simulations" -d "{
+        \"policy\": \"dwarn\", \"workload\": \"2-MIX\", \"seed\": $1,
+        \"warmup_cycles\": $warmup, \"measure_cycles\": $measure}" | jq -r .id)"
+    state=queued
+    while [ "$state" = queued ] || [ "$state" = running ]; do
+        state="$(curl -sf "$base/v1/simulations/$id" | jq -r .state)"
+        [ "$state" = queued ] || [ "$state" = running ] && sleep 0.01
+    done
+    t1="$(date +%s.%N)"
+    [ "$state" = done ] || { echo "bench_service: job $id ended $state" >&2; exit 1; }
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f\n", (b - a) * 1000 }' >> "$2"
+}
+
+run_round() { # $1 = mode (cold|hot), $2 = concurrency, $3 = seed base; prints "rps p99"
+    mode="$1" conc="$2" seedbase="$3"
+    lat="$work/lat-$mode-$conc"
+    : > "$lat"
+    per=$((reqs / conc))
+    start="$(date +%s.%N)"
+    w=0
+    wpids=""
+    while [ "$w" -lt "$conc" ]; do
+        (
+            k=0
+            while [ "$k" -lt "$per" ]; do
+                if [ "$mode" = cold ]; then
+                    seed=$((seedbase + w * 1000 + k + 1))
+                else
+                    seed=1
+                fi
+                one_request "$seed" "$lat"
+                k=$((k + 1))
+            done
+        ) &
+        wpids="$wpids $!"
+        w=$((w + 1))
+    done
+    for p in $wpids; do wait "$p"; done
+    end="$(date +%s.%N)"
+    total=$((per * conc))
+    rps="$(awk -v n="$total" -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", n / (b - a) }')"
+    p99="$(sort -n "$lat" | awk '{ v[NR] = $1 } END { print v[int(0.99 * (NR - 1)) + 1] }')"
+    echo "$rps $p99"
+}
+
+rows=""
+sb=0
+for mode in cold hot; do
+    for conc in 1 4 8; do
+        echo "bench_service: round: $mode, $conc client(s)" >&2
+        set -- $(run_round "$mode" "$conc" "$sb")
+        echo "bench_service: $mode x$conc: $1 runs/sec, p99 ${2}ms" >&2
+        rows="$rows $mode:$conc:$1:$2"
+        sb=$((sb + 10000))
+    done
+done
+
+{
+    printf '{\n'
+    printf '  "benchmark": "service_run_roundtrip",\n'
+    printf '  "requests_per_round": %d,\n' "$reqs"
+    printf '  "warmup_cycles": %d,\n' "$warmup"
+    printf '  "measure_cycles": %d,\n' "$measure"
+    printf '  "gomaxprocs": %d,\n' "$maxprocs"
+    printf '  "degraded": %s,\n' "$degraded"
+    printf '  "rounds": [\n'
+    first=true
+    for row in $rows; do
+        mode="${row%%:*}"; rest="${row#*:}"
+        conc="${rest%%:*}"; rest="${rest#*:}"
+        rps="${rest%%:*}"; p99="${rest#*:}"
+        $first || printf ',\n'
+        first=false
+        printf '    {"mode": "%s", "clients": %s, "runs_per_sec": %s, "p99_ms": %s}' \
+            "$mode" "$conc" "$rps" "$p99"
+    done
+    printf '\n  ]\n'
+    printf '}\n'
+} > "$out"
+
+echo "bench_service: wrote $out"
