@@ -1,7 +1,7 @@
 # Developer entry points. Everything here is plain go tool invocations;
 # the Makefile just names the common ones.
 
-.PHONY: build test race bench bench-simcore bench-sweep bench-fabric bench-service chaos-service alloc-guard
+.PHONY: build test race bench bench-simcore bench-sweep bench-fabric bench-service bench-ckpt smoke-ckpt chaos-service alloc-guard
 
 build:
 	go build ./...
@@ -38,6 +38,16 @@ bench-fabric:
 # to BENCH_service.json.
 bench-service:
 	sh scripts/bench_service.sh
+
+# Checkpoint/fork engine perf trajectory: the 72-cell parallel grid
+# with and without checkpointing, recorded to BENCH_ckpt.json.
+bench-ckpt:
+	sh scripts/bench_ckpt.sh
+
+# Checkpoint/fork engine correctness smoke: one warmup per group and
+# digests bit-identical to a serial no-checkpoint run.
+smoke-ckpt:
+	sh scripts/smoke_ckpt.sh
 
 # Crash/fault drills: journal crash recovery, torn-tail truncation, and
 # store-write-error absorption against a real dwarnd via DWARN_CHAOS.

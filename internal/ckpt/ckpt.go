@@ -1,0 +1,68 @@
+// Package ckpt is the checkpoint/fork engine's storage layer: it
+// serializes the post-prewarm machine state of a simulation — caches,
+// TLBs, branch predictor, core clock scalars, and per-thread workload
+// source cursors — into a versioned, checksummed binary image,
+// content-addressed by the (machine, workload, seed) half of the run
+// fingerprint (sim.CheckpointKey). Sweep cells that differ only in
+// fetch policy or policy parameters share a checkpoint: the first cell
+// of a group builds machine state once and publishes it, and every
+// other cell forks from the image instead of re-running generator
+// construction and cache prewarming.
+//
+// Correctness contract: a checkpoint is an optimization, never an
+// oracle. Every decode is CRC-verified and shape-checked against the
+// live machine on restore; any mismatch — corruption, truncation, a
+// format bump, a config drift — makes the run fall back to a cold
+// start. A damaged checkpoint can cost time; it can never change a
+// result.
+package ckpt
+
+import (
+	"dwarn/internal/bpred"
+	"dwarn/internal/mem/cache"
+	"dwarn/internal/mem/tlb"
+	"dwarn/internal/pipeline"
+	"dwarn/internal/workload"
+)
+
+// Image is one decoded checkpoint: everything needed to fork a
+// simulation from its post-prewarm point. Images are immutable once
+// stored — stores may hand the same pointer to every caller, and
+// callers must not modify one.
+type Image struct {
+	// Key is the checkpoint key the image was stored under; decode
+	// verifies it so a renamed file cannot impersonate another group.
+	Key string
+	// Seed is the synthetic-randomness seed the state was built from
+	// (diagnostic; the key already covers it).
+	Seed uint64
+	// Core holds the CPU's scalar state at the quiescent snapshot point.
+	Core pipeline.CoreState
+	// Memory hierarchy contents.
+	L1I, L1D, L2 cache.State
+	DTLB         []tlb.State
+	// Bpred is the predictor state (untouched by prewarm today, but
+	// captured so the image stays a complete machine snapshot if
+	// prewarming ever grows a front-end phase).
+	Bpred bpred.State
+	// Sources holds each thread's workload generator cursor state.
+	Sources []workload.SourceState
+}
+
+// ApproxBytes estimates the encoded size of the image without encoding
+// it — used for the dwarn_ckpt_bytes accounting and the MemStore's
+// size-aware bound.
+func (img *Image) ApproxBytes() int {
+	n := 64 + len(img.Key)
+	n += len(img.L1I.Lines)*25 + len(img.L1D.Lines)*25 + len(img.L2.Lines)*25 + 3*24
+	for _, t := range img.DTLB {
+		n += 12 + len(t.Entries)*17
+	}
+	n += len(img.Bpred.PHT) + len(img.Bpred.BTB)*25 + len(img.Bpred.History)*4 + 24
+	for _, r := range img.Bpred.RAS {
+		n += 4 + len(r)*8
+	}
+	n += len(img.Bpred.RASTop) * 8
+	n += len(img.Sources) * 60
+	return n
+}

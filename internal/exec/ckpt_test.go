@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"dwarn/internal/ckpt"
+	"dwarn/internal/spec"
+)
+
+// countingCkptStore counts publishes: each Put is one cold warmup that
+// produced a checkpoint.
+type countingCkptStore struct {
+	inner ckpt.Store
+	puts  atomic.Int64
+}
+
+func (s *countingCkptStore) Get(key string) (*ckpt.Image, bool) { return s.inner.Get(key) }
+func (s *countingCkptStore) Put(key string, img *ckpt.Image) {
+	s.puts.Add(1)
+	s.inner.Put(key, img)
+}
+
+// TestOneWarmupPerGroup runs a sweep whose cells split into exactly two
+// checkpoint groups (two seeds, three policies each) and asserts that
+// exactly one cell per group paid for a cold warmup — the rest forked.
+func TestOneWarmupPerGroup(t *testing.T) {
+	var cells []*spec.Resolved
+	for _, p := range []string{"icount", "stall", "dwarn"} {
+		for _, seed := range []uint64{5, 6} {
+			rs := spec.RunSpec{
+				Policy:       spec.Policy{Name: p},
+				Workload:     spec.Workload{Name: "2-ILP"},
+				Seed:         seed,
+				WarmupCycles: 1000, MeasureCycles: 2000,
+			}
+			res, err := rs.Resolve(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, res)
+		}
+	}
+	groups := map[string]bool{}
+	for _, c := range cells {
+		if c.CheckpointKey == "" {
+			t.Fatalf("cell %s has no checkpoint key", c.Fingerprint[:12])
+		}
+		groups[c.CheckpointKey] = true
+	}
+	if len(groups) != 2 {
+		t.Fatalf("expected 2 checkpoint groups, got %d", len(groups))
+	}
+
+	store := &countingCkptStore{inner: ckpt.NewMemStore(ckpt.DefaultMemBytes)}
+	e := New(Options{Workers: 4, Checkpoints: store})
+	results := e.Execute(context.Background(), cells, nil)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.puts.Load(); got != 2 {
+		t.Errorf("expected exactly one checkpoint publish per group (2), got %d", got)
+	}
+}
+
+// TestWarmGateLeaderDeath exercises promotion: when the warm leader
+// exits without publishing, exactly one waiter takes over rather than
+// all of them stampeding.
+func TestWarmGateLeaderDeath(t *testing.T) {
+	g := newWarmGate()
+	leave, err := g.enter(context.Background(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			l, err := g.enter(context.Background(), "k")
+			if err != nil {
+				t.Error(err)
+			}
+			promoted <- l
+		}()
+	}
+	leave() // leader dies without publishing
+	// Exactly one waiter becomes the new leader; the other still waits.
+	first := <-promoted
+	select {
+	case <-promoted:
+		t.Fatal("both waiters promoted at once after leader death")
+	default:
+	}
+	// The new leader publishes; the remaining waiter floods through.
+	g.release("k")
+	first()
+	<-promoted
+}

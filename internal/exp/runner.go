@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dwarn/internal/ckpt"
 	"dwarn/internal/exec"
 	"dwarn/internal/sim"
 	"dwarn/internal/spec"
@@ -37,6 +38,10 @@ type Config struct {
 	MeasureCycles int64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Checkpoints, when non-nil, enables the checkpoint/fork engine:
+	// grid cells sharing a (machine, workload, seed) group warm once
+	// and fork the group's post-prewarm state from this store.
+	Checkpoints ckpt.Store
 }
 
 // Default run lengths for experiments: long enough for stable rankings,
@@ -86,7 +91,7 @@ func NewRunner(cfg Config) *Runner {
 	return &Runner{
 		cfg:    cfg,
 		traces: spec.FileTraces{},
-		exec:   exec.New(exec.Options{Workers: cfg.Parallelism}),
+		exec:   exec.New(exec.Options{Workers: cfg.Parallelism, Checkpoints: cfg.Checkpoints}),
 		index:  make(map[runKey]string),
 	}
 }

@@ -252,6 +252,48 @@ func (m *Manager) Restore(id, kind string, req any, at time.Time, run runFunc) (
 	}
 }
 
+// RestoreTerminal re-registers a journaled job that had already reached
+// a terminal state before a restart, so listings keep serving it. The
+// result payload may be nil when the durable store no longer holds it;
+// the state and error are still observable. Like Restore, the sequence
+// counter advances past the restored id so fresh submissions never
+// collide with it.
+func (m *Manager) RestoreTerminal(id, kind string, req any, state, errMsg string, result json.RawMessage, cached bool, at time.Time) (*Job, error) {
+	if !terminal(state) {
+		return nil, fmt.Errorf("service: restore of job %q with non-terminal state %q", id, state)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	if _, ok := m.jobs[id]; ok {
+		return nil, fmt.Errorf("service: job %q already registered", id)
+	}
+	if n := trailingSeq(id); n > m.seq {
+		m.seq = n
+	}
+	if at.IsZero() {
+		at = m.now()
+	}
+	j := &Job{
+		ID:          id,
+		Kind:        kind,
+		Request:     req,
+		State:       state,
+		Err:         errMsg,
+		Result:      result,
+		Cached:      cached,
+		SubmittedAt: at,
+		FinishedAt:  at,
+		cancel:      func() {},
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.pruneLocked()
+	return j, nil
+}
+
 // SubmitCompleted records a job that finished at submission time — the
 // fast path for results already present in the cache, which bypasses
 // the queue entirely.

@@ -140,6 +140,20 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("dwarn_sim_cycles_per_second = %v, want > 0", got)
 	}
 
+	// Checkpoint/fork engine (always on in the service): the sweep's four
+	// cells form two (machine, workload, seed) groups, so at least two
+	// warmed cold and published (misses) and at least two forked (hits).
+	// obs.Default is process-wide, so assert floors, not exact counts.
+	if got := m["dwarn_ckpt_misses_total"]; got < 2 {
+		t.Fatalf("dwarn_ckpt_misses_total = %v, want >= 2", got)
+	}
+	if got := m["dwarn_ckpt_hits_total"]; got < 2 {
+		t.Fatalf("dwarn_ckpt_hits_total = %v, want >= 2", got)
+	}
+	if got := m["dwarn_ckpt_bytes"]; got <= 0 {
+		t.Fatalf("dwarn_ckpt_bytes = %v, want > 0", got)
+	}
+
 	// HTTP middleware: the sweep submission was counted under its route
 	// pattern with a 202, and latency histograms exist.
 	if got := m[`dwarn_http_requests_total{code="202",route="POST /v2/sweeps"}`]; got != 1 {

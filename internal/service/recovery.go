@@ -42,6 +42,13 @@ func (s *Server) recoverFromJournal() {
 	unfinished := 0
 	for _, e := range entries {
 		if !e.Unfinished() {
+			// Terminal run jobs stay listed across a crash restart: GET
+			// /v1/simulations must not forget work that finished before
+			// the process died. (Clean shutdown compacts them away along
+			// with everything else.)
+			if e.Kind == journal.KindRun {
+				s.restoreTerminalRun(e)
+			}
 			continue
 		}
 		unfinished++
@@ -119,6 +126,50 @@ func (s *Server) failRecoveredSweep(e *journal.Entry, cause error) {
 	s.mu.Unlock()
 	s.journalFinish(sw.id, StateFailed, cause.Error())
 	s.log.Warn("sweep recovery failed", "sweep", e.ID, "err", cause)
+}
+
+// restoreTerminalRun re-registers a run job that had already finished
+// before the crash. A done job's result is re-attached from the durable
+// result cache when it still holds the payload; otherwise the terminal
+// state (and failure message) is served without one.
+func (s *Server) restoreTerminalRun(e *journal.Entry) {
+	var req any
+	var result json.RawMessage
+	cached := false
+	if len(e.Cells) == 1 {
+		req = e.Cells[0]
+		if e.State == StateDone {
+			if res, err := s.resolveSpec(e.Cells[0]); err == nil {
+				switch {
+				case res.Spec.Baselines:
+					// The relative-IPC summary only lives in the in-memory
+					// response cache; after a restart the job serves its
+					// terminal state without a payload.
+					if raw, ok := s.cache.Peek(simBaselinesKey(res.Fingerprint)); ok {
+						result, cached = raw, true
+					}
+				default:
+					// The executor's store reaches the durable tier (-store),
+					// so the job re-attaches the exact pre-crash payload.
+					if r, ok := s.exec.Store().Get(res.Fingerprint); ok {
+						raw, merr := json.Marshal(&SimulationResult{Fingerprint: res.Fingerprint, Result: r})
+						if merr == nil {
+							result, cached = raw, true
+						}
+					}
+				}
+			}
+		}
+	}
+	errMsg := e.Error
+	if e.State == StateCanceled && errMsg == "" {
+		errMsg = "canceled"
+	}
+	if _, err := s.mgr.RestoreTerminal(e.ID, "sim", req, e.State, errMsg, result, cached, e.SubmittedAt); err != nil {
+		s.log.Warn("terminal job restore failed", "job", e.ID, "err", err)
+		return
+	}
+	s.log.Debug("terminal job restored", "job", e.ID, "state", e.State)
 }
 
 // recoverRun re-enqueues an unfinished single-run job under its

@@ -275,6 +275,86 @@ func TestRunJobRecovery(t *testing.T) {
 	}
 }
 
+// Terminal run jobs stay listed across a crash restart: a journaled
+// done job reappears in GET /v1/simulations with its result re-attached
+// from the durable store, a failed one reappears with its cause, and
+// fresh ids advance past both.
+func TestTerminalRunJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	specs := testGridSpecs(t, "icount")
+
+	// Pre-crash life: the durable store pays for the cell once.
+	srvA, tsA := newTestServer(t, Options{Workers: 1, Store: openStore(t, filepath.Join(dir, "store"))})
+	first := submitSim(t, tsA, SimulationRequest{
+		Policy: "icount", Workload: "2-MIX",
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	})
+	preCrash := waitJob(t, tsA, first.ID, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = srvA.Shutdown(ctx)
+	cancel()
+	tsA.Close()
+
+	// The journal a kill -9 leaves: submit+finish pairs that compaction
+	// never got to drop — one done job, one failed.
+	jpath := filepath.Join(dir, "journal.log")
+	j, _ := openJournal(t, jpath)
+	for _, rec := range []journal.Record{
+		{Type: journal.TypeSubmit, ID: "sim-000031", Kind: journal.KindRun, Time: time.Now().UTC(), Cells: specs},
+		{Type: journal.TypeFinish, ID: "sim-000031", State: StateDone},
+		{Type: journal.TypeSubmit, ID: "sim-000032", Kind: journal.KindRun, Time: time.Now().UTC(), Cells: specs},
+		{Type: journal.TypeFinish, ID: "sim-000032", State: StateFailed, Error: "boom"},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, recs := openJournal(t, jpath)
+	_, tsB := newTestServer(t, Options{
+		Workers: 1,
+		Store:   openStore(t, filepath.Join(dir, "store")),
+		Journal: j2, Recovered: recs,
+	})
+	defer tsB.Close()
+
+	var done JobView
+	if resp := getJSON(t, tsB, "/v1/simulations/sim-000031", &done); resp.StatusCode != http.StatusOK {
+		t.Fatalf("done job forgotten after restart: %d", resp.StatusCode)
+	}
+	if done.State != StateDone || !done.Cached {
+		t.Fatalf("done job state %q cached %v", done.State, done.Cached)
+	}
+	if string(done.Result) != string(preCrash.Result) {
+		t.Fatalf("restored result drifted from pre-crash payload:\n%s\nvs\n%s", done.Result, preCrash.Result)
+	}
+
+	var failed JobView
+	if resp := getJSON(t, tsB, "/v1/simulations/sim-000032", &failed); resp.StatusCode != http.StatusOK {
+		t.Fatalf("failed job forgotten after restart: %d", resp.StatusCode)
+	}
+	if failed.State != StateFailed || failed.Error != "boom" {
+		t.Fatalf("failed job state %q error %q", failed.State, failed.Error)
+	}
+
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	getJSON(t, tsB, "/v1/simulations", &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("listing has %d jobs after restart, want 2", len(list.Jobs))
+	}
+
+	fresh := submitSim(t, tsB, SimulationRequest{
+		Policy: "icount", Workload: "2-MIX",
+		WarmupCycles: testWarmup, MeasureCycles: testMeasure,
+	})
+	if fresh.ID <= "sim-000032" {
+		t.Fatalf("fresh job id %s did not advance past restored terminal ids", fresh.ID)
+	}
+}
+
 // Shutdown-canceled sweeps write terminal records before the journal
 // compacts, so a canceled-at-shutdown sweep is never re-resumed.
 func TestShutdownCancelWritesTerminalRecord(t *testing.T) {

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"dwarn/internal/ckpt"
+	"dwarn/internal/pipeline"
+	"dwarn/internal/workload"
+)
+
+// Snapshot captures the machine's post-prewarm state as a checkpoint
+// image: core clock scalars, all three caches, the per-thread DTLBs,
+// the branch predictor, and every thread's workload source cursors.
+// The CPU must be quiescent (it is, right after prewarm: pre-touching
+// installs cache and TLB state without simulating a cycle) and every
+// source must be checkpointable; otherwise Snapshot fails and the run
+// simply proceeds without publishing.
+func Snapshot(key string, cpu *pipeline.CPU, srcs []workload.Source, seed uint64) (*ckpt.Image, error) {
+	core, err := cpu.CoreState()
+	if err != nil {
+		return nil, err
+	}
+	img := &ckpt.Image{
+		Key:  key,
+		Seed: seed,
+		Core: core,
+	}
+	mem := cpu.Mem()
+	img.L1I = mem.L1I.State()
+	img.L1D = mem.L1D.State()
+	img.L2 = mem.L2.State()
+	for _, t := range mem.DTLB {
+		img.DTLB = append(img.DTLB, t.State())
+	}
+	img.Bpred = cpu.Bpred().State()
+	img.Sources = make([]workload.SourceState, len(srcs))
+	for i, src := range srcs {
+		c, ok := src.(workload.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("sim: source %d (%T) is not checkpointable", i, src)
+		}
+		st, err := c.CheckpointState()
+		if err != nil {
+			return nil, err
+		}
+		img.Sources[i] = st
+	}
+	return img, nil
+}
+
+// Restore forks a freshly built machine from a checkpoint image,
+// overwriting cache, TLB, predictor, core-scalar, and source-cursor
+// state. Every shape is validated against the live machine; any
+// mismatch returns an error, after which the machine may be partially
+// written — the caller must rebuild it and start cold rather than run
+// a half-restored machine.
+func Restore(img *ckpt.Image, cpu *pipeline.CPU, srcs []workload.Source) error {
+	if img.Core.NumThreads != cpu.NumThreads() || len(img.Sources) != len(srcs) {
+		return fmt.Errorf("sim: checkpoint has %d threads, machine has %d", img.Core.NumThreads, cpu.NumThreads())
+	}
+	mem := cpu.Mem()
+	if len(img.DTLB) != len(mem.DTLB) {
+		return fmt.Errorf("sim: checkpoint has %d DTLBs, machine has %d", len(img.DTLB), len(mem.DTLB))
+	}
+	for i, src := range srcs {
+		c, ok := src.(workload.Checkpointable)
+		if !ok {
+			return fmt.Errorf("sim: source %d (%T) is not checkpointable", i, src)
+		}
+		if err := c.SetCheckpointState(img.Sources[i]); err != nil {
+			return err
+		}
+	}
+	if err := mem.L1I.SetState(img.L1I); err != nil {
+		return err
+	}
+	if err := mem.L1D.SetState(img.L1D); err != nil {
+		return err
+	}
+	if err := mem.L2.SetState(img.L2); err != nil {
+		return err
+	}
+	for i, t := range mem.DTLB {
+		if err := t.SetState(img.DTLB[i]); err != nil {
+			return err
+		}
+	}
+	if err := cpu.Bpred().SetState(img.Bpred); err != nil {
+		return err
+	}
+	return cpu.SetCoreState(img.Core)
+}

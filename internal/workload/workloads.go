@@ -160,6 +160,18 @@ func (w *Workload) Validate() error {
 // the pipeline and simulator stay agnostic about where uops come from
 // (a trace Replayer is a drop-in substitute).
 func (w *Workload) Generators(seed uint64) ([]Source, error) {
+	return w.generators(seed, NewGenerator)
+}
+
+// SharedGenerators is Generators through the process-wide program core
+// cache (see NewGeneratorShared): bit-identical streams, but cells that
+// share a (workload, seed) group skip program construction and
+// calibration after the first. The checkpoint/fork engine's path.
+func (w *Workload) SharedGenerators(seed uint64) ([]Source, error) {
+	return w.generators(seed, NewGeneratorShared)
+}
+
+func (w *Workload) generators(seed uint64, mk func(*Profile, uint64, uint64) *Generator) ([]Source, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,7 +186,7 @@ func (w *Workload) Generators(seed uint64) ([]Source, error) {
 		// set-aligned and collide pathologically in the shared caches.
 		stagger := (seed + uint64(i)*0x9e3779b97f4a7c15) >> 13 & 0x3FFFC0
 		base := uint64(i+1)<<40 + stagger
-		srcs[i] = NewGenerator(prof, seed+uint64(i)*0x51ed2701, base)
+		srcs[i] = mk(prof, seed+uint64(i)*0x51ed2701, base)
 	}
 	return srcs, nil
 }

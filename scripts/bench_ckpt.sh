@@ -1,0 +1,86 @@
+#!/bin/sh
+# bench_ckpt.sh — record the checkpoint/fork engine's sweep speedup.
+#
+# Times the 72-cell examples/specs/parallel-grid.json (12 checkpoint
+# groups of 6 policy cells each) through smtsim twice — checkpointing
+# off, then on (in-memory store) — and writes BENCH_ckpt.json with
+# cells/sec for both modes, the speedup, and the fraction of the
+# no-checkpoint wall time the fork path recovered. Warmup construction
+# (generator calibration plus cache prewarming) is per-cell work without
+# checkpointing and per-group work with it, so the speedup grows with
+# group width and shrinks as measured cycles dominate. GOMAXPROCS is
+# recorded alongside; a single-core runner is marked degraded because
+# the parallel fan-out the grid normally overlaps warmups with is
+# serialized there.
+#
+# Usage:
+#   scripts/bench_ckpt.sh [output.json]
+#   PARALLEL=4 scripts/bench_ckpt.sh
+#
+# (or `make bench-ckpt`)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_ckpt.json}"
+parallel="${PARALLEL:-8}"
+spec="examples/specs/parallel-grid.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/smtsim" ./cmd/smtsim
+maxprocs="$(go run ./scripts/maxprocs 2>/dev/null || echo 0)"
+
+degraded=false
+if [ "$maxprocs" -le 1 ]; then
+    degraded=true
+    echo "bench_ckpt: WARNING: GOMAXPROCS=$maxprocs — warmups cannot overlap on a" >&2
+    echo "bench_ckpt: WARNING: single-core runner; results marked degraded" >&2
+fi
+
+cells=72
+
+run_grid() { # run_grid extra-flags... → elapsed seconds on stdout
+    t0="$(date +%s.%N)"
+    "$tmp/smtsim" -spec "$spec" -parallel "$parallel" "$@" > /dev/null 2>&1
+    t1="$(date +%s.%N)"
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+
+echo "bench_ckpt: timing $cells-cell grid without checkpointing (parallel=$parallel)..."
+t_off="$(run_grid -ckpt=false)"
+echo "bench_ckpt: cold grid: ${t_off}s"
+
+echo "bench_ckpt: timing the same grid with the checkpoint/fork engine..."
+t_on="$(run_grid -metrics "$tmp/ckpt.prom")"
+echo "bench_ckpt: checkpointed grid: ${t_on}s"
+
+misses="$(awk '$1 == "dwarn_ckpt_misses_total" { print $2 }' "$tmp/ckpt.prom")"
+hits="$(awk '$1 == "dwarn_ckpt_hits_total" { print $2 }' "$tmp/ckpt.prom")"
+if [ "${misses:-0}" -ne 12 ]; then
+    echo "bench_ckpt: FAIL: $misses warmups executed, want 12 (one per group)" >&2
+    exit 1
+fi
+
+awk -v cells="$cells" -v t_off="$t_off" -v t_on="$t_on" \
+    -v misses="$misses" -v hits="$hits" \
+    -v parallel="$parallel" -v maxprocs="$maxprocs" -v degraded="$degraded" '
+BEGIN {
+    printf "{\n"
+    printf "  \"spec\": \"examples/specs/parallel-grid.json\",\n"
+    printf "  \"grid_cells\": %d,\n", cells
+    printf "  \"ckpt_groups\": %d,\n", misses
+    printf "  \"parallel\": %d,\n", parallel
+    printf "  \"gomaxprocs\": %d,\n", maxprocs
+    printf "  \"degraded\": %s,\n", degraded
+    printf "  \"warmups_executed\": %d,\n", misses
+    printf "  \"cells_forked\": %d,\n", hits
+    printf "  \"cells_per_sec\": {\n"
+    printf "    \"ckpt_off\": %.2f,\n", cells / t_off
+    printf "    \"ckpt_on\": %.2f\n", cells / t_on
+    printf "  },\n"
+    printf "  \"speedup\": %.2f,\n", t_off / t_on
+    printf "  \"warmup_time_recovered\": %.3f\n", (t_off - t_on) / t_off
+    printf "}\n"
+}' > "$out"
+
+echo "bench_ckpt: wrote $out"
